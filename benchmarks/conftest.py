@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper through the
+simulated cluster and reports the mini-scale wall time via
+pytest-benchmark; the *projected* paper-scale numbers are printed so the
+bench output can be compared with the paper side by side (shape, not
+absolute values).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

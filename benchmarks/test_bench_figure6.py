@@ -1,0 +1,38 @@
+"""Figure 6 benchmark: PSGraph vs GraphX on traditional graph algorithms.
+
+Regenerates every bar of Fig. 6 and asserts the paper's *shape*: PSGraph
+completes everywhere, GraphX completes only where the paper says it does,
+and where both complete PSGraph wins by a material factor.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import FIG6_CELLS, PAPER_FIG6, run_figure6
+from repro.experiments.harness import format_rows, speedup
+
+
+def _cell(name, ds):
+    def run():
+        return run_figure6(cells=[(name, ds)])
+
+    return run
+
+
+@pytest.mark.parametrize("algo,ds", FIG6_CELLS,
+                         ids=[f"{a}-{d}" for a, d in FIG6_CELLS])
+def test_bench_figure6_cell(once, algo, ds, capsys):
+    rows = once(_cell(algo, ds))
+    with capsys.disabled():
+        print()
+        print(format_rows(rows))
+    by_system = {r.system: r for r in rows}
+    # PSGraph always completes.
+    assert by_system["PSGraph"].status == "ok"
+    # GraphX's OOM pattern matches the paper exactly.
+    paper_gx = PAPER_FIG6[(algo, ds, "GraphX")]
+    if paper_gx is None:
+        assert by_system["GraphX"].status == "OOM"
+    else:
+        assert by_system["GraphX"].status == "ok"
+        s = speedup(rows, ds, algo)
+        assert s is not None and s > 2.0  # PSGraph wins decisively

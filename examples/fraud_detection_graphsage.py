@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Supervised vertex classification with GraphSage (the WeChat Pay shape).
+
+Table I's application: classify vertices (e.g. risky accounts) from
+features plus graph structure.  Trains PSGraph's GraphSage — features,
+neighbor tables and weights on the parameter server, autograd in the
+embedded torchlite runtime — and reports accuracy against a
+features-only logistic baseline to show the graph helps.
+
+Run:
+    python examples/fraud_detection_graphsage.py
+"""
+
+import numpy as np
+
+from repro.common.config import ClusterConfig, MB
+from repro.core.algorithms import GraphSage
+from repro.core.context import PSGraphContext
+from repro.core.ops import edges_from_arrays
+from repro.datasets.generators import community_graph, vertex_features
+from repro.torchlite import (
+    AdamOptimizer,
+    Linear,
+    Tensor,
+    accuracy,
+    cross_entropy,
+)
+
+
+def features_only_baseline(feats, labels, train_idx, test_idx) -> float:
+    """Logistic regression on raw features (no graph)."""
+    model = Linear(feats.shape[1], int(labels.max()) + 1,
+                   rng=np.random.default_rng(0))
+    opt = AdamOptimizer(model.parameters(), lr=0.05)
+    x, y = feats[train_idx].astype(np.float64), labels[train_idx]
+    for _ in range(150):
+        opt.zero_grad()
+        loss = cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        opt.step()
+    logits = model(Tensor(feats[test_idx].astype(np.float64))).data
+    return accuracy(logits, labels[test_idx])
+
+
+def main() -> None:
+    src, dst, comm = community_graph(
+        3000, 12, avg_degree=10, mixing=0.15, seed=31
+    )
+    feats, labels = vertex_features(comm, 24, 4, noise=3.0, seed=32)
+
+    cluster = ClusterConfig(
+        num_executors=6, executor_mem_bytes=512 * MB,
+        num_servers=4, server_mem_bytes=512 * MB,
+    )
+    with PSGraphContext(cluster, app_name="fraud-detection") as ctx:
+        edges = edges_from_arrays(ctx.spark, src, dst)
+        algo = GraphSage(
+            feats, labels, hidden=32, epochs=4, batch_size=256, lr=0.03,
+        )
+        result = algo.transform(ctx, edges)
+        print("GraphSage on PSGraph:")
+        print(f"  train/test nodes : {result.stats['num_train']}/"
+              f"{result.stats['num_test']}")
+        print("  loss per epoch   :",
+              [f"{l:.3f}" for l in result.stats["epoch_losses"]])
+        print(f"  test accuracy    : {result.stats['accuracy']:.3f}")
+
+        rng = np.random.default_rng(9)
+        ids = rng.permutation(3000)
+        cut = int(0.7 * 3000)
+        base = features_only_baseline(feats, labels, ids[:cut], ids[cut:])
+        print(f"features-only baseline accuracy: {base:.3f} "
+              f"(the graph adds "
+              f"{100 * (result.stats['accuracy'] - base):.1f} points)")
+        print(f"simulated job time: {ctx.sim_time():.3f} s")
+
+
+if __name__ == "__main__":
+    main()

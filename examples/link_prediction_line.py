@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Link prediction with LINE embeddings (+ common neighbor baseline).
+
+Trains LINE first-order embeddings on 90% of a community graph's edges and
+scores the held-out 10% against random pairs — the "prediction of new edges
+based on vertex similarities" use case of Sec. II-B.
+
+Run:
+    python examples/link_prediction_line.py
+"""
+
+import numpy as np
+
+from repro.common.config import ClusterConfig, MB
+from repro.common.rng import make_rng
+from repro.core.algorithms import CommonNeighbor, Line, link_prediction_score
+from repro.core.context import PSGraphContext
+from repro.core.ops import edges_from_arrays
+from repro.datasets.generators import community_graph
+
+
+def main() -> None:
+    cluster = ClusterConfig(
+        num_executors=8, executor_mem_bytes=512 * MB,
+        num_servers=4, server_mem_bytes=512 * MB,
+    )
+    src, dst, _ = community_graph(
+        1500, 6, avg_degree=14, mixing=0.05, seed=21
+    )
+    rng = make_rng(3)
+    order = rng.permutation(len(src))
+    held = order[: len(src) // 10]
+    train = order[len(src) // 10:]
+
+    with PSGraphContext(cluster, app_name="link-prediction") as ctx:
+        edges = edges_from_arrays(ctx.spark, src[train], dst[train])
+        result = Line(
+            dim=32, order=1, epochs=6, lr=0.15, negative=5,
+            batch_size=1024,
+        ).transform(ctx, edges)
+        print("LINE training loss per epoch:",
+              [f"{l:.4f}" for l in result.stats["epoch_losses"]])
+
+        emb = result.stats["embedding"]
+        n = int(max(src.max(), dst.max())) + 1
+        vectors = emb.pull_rows(np.arange(n))
+        auc = link_prediction_score(
+            vectors, src[held], dst[held], make_rng(5)
+        )
+        print(f"held-out link prediction score (LINE): {auc:.3f} "
+              f"(0.5 = chance)")
+
+        # Baseline: common-neighbor counts on the same held-out pairs.
+        cn = CommonNeighbor().transform(
+            ctx, edges_from_arrays(ctx.spark, src[held], dst[held])
+        )
+        counts = [r["common"] for r in cn.output.collect()]
+        print(f"common-neighbor baseline: mean overlap on held-out edges "
+              f"= {np.mean(counts):.2f}")
+        print(f"simulated job time: {ctx.sim_time():.3f} s")
+
+
+if __name__ == "__main__":
+    main()

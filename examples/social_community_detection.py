@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Community detection on a social graph: fast unfolding + label propagation.
+
+The motivating WeChat use case: find densely connected friend groups.
+Runs both PS-backed community algorithms on a planted-community graph and
+scores them against the ground truth.
+
+Run:
+    python examples/social_community_detection.py
+"""
+
+import numpy as np
+
+from repro.common.config import ClusterConfig, MB
+from repro.core.algorithms import FastUnfolding, LabelPropagation
+from repro.core.context import PSGraphContext
+from repro.core.ops import edges_from_arrays
+from repro.datasets.generators import community_graph
+
+
+def purity(assignment: dict, truth: np.ndarray) -> float:
+    """Mean, over detected communities, of their majority true label."""
+    groups: dict = {}
+    for v, c in assignment.items():
+        groups.setdefault(c, []).append(truth[v])
+    total = sum(len(g) for g in groups.values())
+    hit = sum(
+        int(np.bincount(np.asarray(g)).max()) for g in groups.values()
+    )
+    return hit / total
+
+
+def main() -> None:
+    cluster = ClusterConfig(
+        num_executors=8, executor_mem_bytes=256 * MB,
+        num_servers=4, server_mem_bytes=256 * MB,
+    )
+    src, dst, truth = community_graph(
+        2000, 8, avg_degree=12, mixing=0.08, seed=11
+    )
+    with PSGraphContext(cluster, app_name="communities") as ctx:
+        edges = edges_from_arrays(ctx.spark, src, dst)
+
+        fu = FastUnfolding(num_passes=3).transform(ctx, edges)
+        fu_map = {r["vertex"]: r["community"]
+                  for r in fu.output.collect()}
+        print("fast unfolding:")
+        print(f"  modularity     : {fu.stats['modularity']:.3f}")
+        print(f"  communities    : {fu.stats['num_communities']}")
+        print(f"  purity vs truth: {purity(fu_map, truth):.3f}")
+
+        lpa = LabelPropagation(max_iterations=10).transform(ctx, edges)
+        lpa_map = {r["vertex"]: r["label"]
+                   for r in lpa.output.collect()}
+        print("label propagation:")
+        print(f"  labels         : {lpa.stats['num_labels']}")
+        print(f"  purity vs truth: {purity(lpa_map, truth):.3f}")
+        print(f"simulated job time: {ctx.sim_time():.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Streaming ingestion into the PSGraph pipeline (the Fig. 3 ecosystem).
+
+Edges arrive on a Kafka-style topic; a consumer lands them on HDFS for the
+batch jobs *and* merges them incrementally into a PS neighbor table, so an
+online model stays fresh between batch runs — the pipeline capability the
+paper's introduction credits for Spark's hold on Tencent's workloads.
+
+Run:
+    python examples/streaming_pipeline.py
+"""
+
+import numpy as np
+
+from repro.common.config import ClusterConfig, MB
+from repro.core.algorithms import PageRank
+from repro.core.context import PSGraphContext
+from repro.core.runner import GraphRunner
+from repro.datasets.generators import powerlaw_graph
+from repro.ingest.kafka import EdgeStreamConsumer, KafkaTopic
+
+
+def main() -> None:
+    cluster = ClusterConfig(
+        num_executors=4, executor_mem_bytes=256 * MB,
+        num_servers=2, server_mem_bytes=256 * MB,
+    )
+    with PSGraphContext(cluster, app_name="streaming") as ctx:
+        topic = KafkaTopic("friend-events", num_partitions=4)
+        online_table = ctx.ps.create_neighbor_table("online-adj", 2000)
+        consumer = EdgeStreamConsumer(
+            topic, ctx.hdfs, landing_dir="/stream/edges",
+            table=online_table, metrics=ctx.metrics,
+        )
+
+        # Three waves of events arrive.
+        src, dst = powerlaw_graph(2000, 15000, seed=41)
+        for wave in range(3):
+            sl = slice(wave * 5000, (wave + 1) * 5000)
+            topic.produce(src[sl], dst[sl])
+            consumed = consumer.drain()
+            degree_of_zero = online_table.degrees(np.array([0]))[0]
+            print(f"wave {wave}: consumed {consumed} events, "
+                  f"online degree(vertex 0) = {degree_of_zero}")
+
+        # The landed history feeds an ordinary batch job, no export step.
+        result = GraphRunner(ctx).run(
+            PageRank(max_iterations=10), "/stream/edges"
+        )
+        top = result.output.order_by("rank", ascending=False).limit(3)
+        print("batch PageRank over the streamed history — top 3:")
+        top.show()
+        print(f"total ingested records: "
+              f"{int(ctx.metrics.get('ingest.records'))}")
+        print(f"simulated job time: {ctx.sim_time():.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""PSGraph reproduction (ICDE 2020).
+
+A production-style Python implementation of Tencent's PSGraph — a graph
+processing system that couples a Spark-like dataflow engine with a
+distributed parameter server and an embedded autograd engine — running on a
+simulated cluster with metered network/disk/memory so the paper's evaluation
+(Fig. 6, Table I, Table II, Sec. V-B2) can be regenerated on one machine.
+
+Public entry points:
+
+* :class:`repro.core.PSGraphContext` — the PSGraph session (Spark + PS).
+* :mod:`repro.core.algorithms` — PageRank, common neighbor, fast unfolding,
+  K-core, triangle count, label propagation, LINE, GraphSage.
+* :mod:`repro.graphx` — the GraphX baseline.
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"

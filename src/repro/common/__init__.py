@@ -1,0 +1,53 @@
+"""Shared infrastructure: errors, cost model, clocks, memory, metrics, RNG."""
+
+from repro.common.config import (
+    GB,
+    MB,
+    ClusterConfig,
+    euler_config_ds3,
+    graphx_config_ds1,
+    graphx_config_ds2,
+    psgraph_config_ds1,
+    psgraph_config_ds2,
+    psgraph_config_ds3,
+)
+from repro.common.costs import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import (
+    ConfigError,
+    ContainerLostError,
+    PSGraphError,
+    SimulatedOOMError,
+)
+from repro.common.memory import MemoryTracker
+from repro.common.metrics import MetricsRegistry
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.common.simclock import SimClock, TaskCost, barrier
+from repro.common.sizeof import sizeof, sizeof_records
+
+__all__ = [
+    "GB",
+    "MB",
+    "ClusterConfig",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_SEED",
+    "ConfigError",
+    "ContainerLostError",
+    "PSGraphError",
+    "SimulatedOOMError",
+    "MemoryTracker",
+    "MetricsRegistry",
+    "SimClock",
+    "TaskCost",
+    "barrier",
+    "derive_seed",
+    "euler_config_ds3",
+    "graphx_config_ds1",
+    "graphx_config_ds2",
+    "make_rng",
+    "psgraph_config_ds1",
+    "psgraph_config_ds2",
+    "psgraph_config_ds3",
+    "sizeof",
+    "sizeof_records",
+]

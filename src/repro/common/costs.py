@@ -1,0 +1,139 @@
+"""Cost model for the simulated Tencent cluster.
+
+The paper's evaluation runs on ">1000 machines, connected by 10GB Ethernet"
+(Sec. V-A).  We cannot run on that cluster, so every metered operation in the
+reproduction (RPC, shuffle write, HDFS read, per-record compute, ...) charges
+*simulated seconds* derived from the constants below.  The constants are
+ordinary hardware numbers for a 2019-era datacenter node; they are knobs, not
+truths — EXPERIMENTS.md documents the calibration and the reproduction only
+claims the *shape* of the paper's results (who wins, by what factor, who OOMs).
+
+Two separate clocks exist everywhere in this codebase:
+
+* **wall-clock** — what pytest-benchmark measures when running the mini-scale
+  workloads for real;
+* **sim-time** — the deterministic cost-model estimate, which stands in for
+  the paper's production-cluster hours.
+
+Datasets are scaled down by a factor ``f`` and container memory grants are
+scaled by the same ``f`` (see :mod:`repro.datasets.tencent`), so sim-time at
+mini scale extrapolates linearly: ``paper_hours ≈ sim_seconds / f / 3600``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated-hardware constants used to charge time and memory.
+
+    Attributes:
+        network_bandwidth_bps: point-to-point bandwidth in bytes/second
+            (10 GbE ≈ 1.25e9 B/s).
+        rpc_latency_s: fixed per-message latency of one RPC round trip.
+            Kept small (50 us — a datacenter RTT) so that mini-scale runs
+            stay *volume-dominated*: the linear projection to paper scale
+            (``paper_hours = sim_seconds / scale / 3600``) is only valid
+            for costs proportional to data volume, and per-message
+            latencies are amortized at paper scale.
+        disk_read_bps: sequential disk read bandwidth in bytes/second.
+        disk_write_bps: sequential disk write bandwidth in bytes/second.
+        cpu_record_s: CPU seconds charged per *boxed* record of generic
+            dataflow processing — a JVM tuple moving through Spark iterator
+            chains, hash maps and serializers, with GC amortized
+            (~0.7 M records/s/core; Spark's own shuffle benchmarks land in
+            this range).  This is the cost GraphX's join pipeline pays per
+            edge and per message.
+        cpu_primitive_record_s: CPU seconds per record of *primitive-array*
+            processing — PSGraph/Angel's executor loops over primitive
+            collections and the PS servers' array kernels (~5 M records/s
+            per core).  The boxed/primitive asymmetry is part of the
+            paper's story: GraphX materializes boxed temp tables, PSGraph
+            streams primitive arrays.
+        cpu_flop_s: CPU seconds charged per floating point operation of
+            vectorized numeric work (used by torchlite and psFunc costing).
+        jvm_object_overhead: multiplier applied to the *logical* byte size of
+            rows materialized as JVM objects (GraphX tables, join buffers).
+            Spark's own tuning guide puts JVM object bloat at 2-5x.
+        shuffle_buffer_overhead: multiplier for in-memory shuffle/sort
+            buffers relative to the logical bytes being shuffled.
+        serialization_cpu_s_per_byte: CPU cost of serializing one byte into
+            a shuffle file or an RPC payload.
+    """
+
+    network_bandwidth_bps: float = 1.25e9
+    rpc_latency_s: float = 5e-5
+    disk_read_bps: float = 2.0e8
+    disk_write_bps: float = 1.5e8
+    cpu_record_s: float = 1.5e-6
+    cpu_primitive_record_s: float = 2.0e-7
+    cpu_flop_s: float = 2.0e-10
+    jvm_object_overhead: float = 2.5
+    shuffle_buffer_overhead: float = 1.5
+    serialization_cpu_s_per_byte: float = 5e-10
+
+    def __post_init__(self) -> None:
+        for field in (
+            "network_bandwidth_bps",
+            "disk_read_bps",
+            "disk_write_bps",
+        ):
+            if getattr(self, field) <= 0:
+                raise ConfigError(f"{field} must be positive")
+        for field in (
+            "rpc_latency_s",
+            "cpu_record_s",
+            "cpu_primitive_record_s",
+            "cpu_flop_s",
+            "serialization_cpu_s_per_byte",
+        ):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"{field} must be non-negative")
+        if self.jvm_object_overhead < 1.0:
+            raise ConfigError("jvm_object_overhead must be >= 1")
+        if self.shuffle_buffer_overhead < 0:
+            raise ConfigError("shuffle_buffer_overhead must be >= 0")
+
+    def network_time(self, nbytes: float, congestion: float = 1.0) -> float:
+        """Simulated seconds to move ``nbytes`` over one link.
+
+        Args:
+            nbytes: payload size in bytes.
+            congestion: effective slowdown factor (>= 1) when the remote end
+                is shared by several concurrent clients, e.g. many executors
+                pulling from few parameter servers.
+        """
+        congestion = max(1.0, congestion)
+        return self.rpc_latency_s + nbytes * congestion / self.network_bandwidth_bps
+
+    def disk_read_time(self, nbytes: float) -> float:
+        """Simulated seconds to sequentially read ``nbytes`` from disk."""
+        return nbytes / self.disk_read_bps
+
+    def disk_write_time(self, nbytes: float) -> float:
+        """Simulated seconds to sequentially write ``nbytes`` to disk."""
+        return nbytes / self.disk_write_bps
+
+    def compute_time(self, records: float) -> float:
+        """Simulated CPU seconds for boxed per-record work."""
+        return records * self.cpu_record_s
+
+    def primitive_compute_time(self, records: float) -> float:
+        """Simulated CPU seconds for primitive-array per-record work."""
+        return records * self.cpu_primitive_record_s
+
+    def flop_time(self, flops: float) -> float:
+        """Simulated CPU seconds for ``flops`` floating point operations."""
+        return flops * self.cpu_flop_s
+
+    def serialization_time(self, nbytes: float) -> float:
+        """Simulated CPU seconds to (de)serialize ``nbytes``."""
+        return nbytes * self.serialization_cpu_s_per_byte
+
+
+#: Default cost model used throughout the reproduction.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,79 @@
+"""Cluster-wide metrics registry.
+
+A single :class:`MetricsRegistry` per simulated cluster collects counters
+(bytes shuffled, RPC calls, records processed, checkpoints written, ...) so
+experiments and ablation benches can report *why* one system beats another,
+not just the end-to-end time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class MetricsRegistry:
+    """A flat map of counter name -> float, with convenience helpers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def inc(self, name: str, value: float = 1.0) -> float:
+        """Increment counter ``name`` by ``value`` and return the new total."""
+        self._counters[name] += value
+        return self._counters[name]
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def set_max(self, name: str, value: float) -> float:
+        """Raise counter ``name`` to ``value`` if it is currently lower."""
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+        return self._counters[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Immutable copy of all counters."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def format(self, prefix: str = "") -> str:
+        """Human-readable dump of counters, optionally filtered by prefix."""
+        lines = [
+            f"{name:48s} {value:,.3f}"
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        ]
+        return "\n".join(lines)
+
+
+# Well-known counter names, kept here so subsystems agree on spelling.
+SHUFFLE_BYTES_WRITTEN = "dataflow.shuffle.bytes_written"
+SHUFFLE_BYTES_READ = "dataflow.shuffle.bytes_read"
+SHUFFLE_RECORDS = "dataflow.shuffle.records"
+TASKS_LAUNCHED = "dataflow.tasks.launched"
+TASKS_FAILED = "dataflow.tasks.failed"
+STAGES_RUN = "dataflow.stages.run"
+RDD_RECORDS = "dataflow.records.processed"
+PS_PULL_BYTES = "ps.pull.bytes"
+PS_PUSH_BYTES = "ps.push.bytes"
+PS_PULLS = "ps.pull.calls"
+PS_PUSHES = "ps.push.calls"
+PS_PSFUNC_CALLS = "ps.psfunc.calls"
+PS_CHECKPOINTS = "ps.checkpoint.count"
+PS_CHECKPOINT_BYTES = "ps.checkpoint.bytes"
+HDFS_BYTES_READ = "hdfs.bytes_read"
+HDFS_BYTES_WRITTEN = "hdfs.bytes_written"
+RPC_CALLS = "net.rpc.calls"
+RPC_BYTES = "net.rpc.bytes"
+CONTAINERS_RESTARTED = "yarn.containers.restarted"

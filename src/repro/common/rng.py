@@ -1,0 +1,34 @@
+"""Seeded random-number helpers.
+
+Everything stochastic in the reproduction — graph generation, negative
+sampling, neighbor sampling, weight init — draws from generators created
+here, so experiments are bit-reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Seed used by examples and benches unless overridden.
+DEFAULT_SEED = 20200420  # ICDE 2020, Dallas — the paper's venue date.
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a numpy Generator from ``seed`` (default: DEFAULT_SEED)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def derive_seed(seed: int, *streams: int | str) -> int:
+    """Derive a child seed from a parent seed and a stream identifier.
+
+    Used to give each partition / worker / epoch its own independent stream
+    without correlated draws.
+    """
+    mask = (1 << 64) - 1
+    h = int(seed) & mask
+    for s in streams:
+        if isinstance(s, str):
+            s = sum((i + 1) * b for i, b in enumerate(s.encode("utf-8")))
+        h = (h * 6364136223846793005
+             + (int(s) % (2 ** 63)) + 1442695040888963407) & mask
+    return h % (2 ** 63 - 1)

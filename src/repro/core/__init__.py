@@ -1,0 +1,15 @@
+"""PSGraph core: the session context, IO, graph ops and the runner API."""
+
+from repro.core.blocks import EdgeBlock, NeighborBlock, build_neighbor_block
+from repro.core.context import PSGraphContext
+from repro.core.graphio import GraphIO
+from repro.core.runner import GraphRunner
+
+__all__ = [
+    "EdgeBlock",
+    "GraphIO",
+    "GraphRunner",
+    "NeighborBlock",
+    "PSGraphContext",
+    "build_neighbor_block",
+]

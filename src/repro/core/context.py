@@ -1,0 +1,84 @@
+"""PSGraphContext — the top-level session object of PSGraph.
+
+Wires together the two contexts of Listing 1 (``SparkContext.getOrCreate();
+PSContext.getOrCreate()``): a Spark dataflow context for computation and a
+parameter-server context for model storage, sharing one Yarn, one HDFS, one
+RPC fabric and one metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.metrics import MetricsRegistry
+from repro.dataflow.context import SparkContext
+from repro.dataflow.dataframe import DataFrame
+from repro.hdfs.filesystem import Hdfs
+from repro.ps.context import PSContext
+
+
+class PSGraphContext:
+    """One PSGraph session: Spark executors + parameter servers.
+
+    Args:
+        cluster: resource allocation (executors and servers) + cost model.
+        sync_mode: PS synchronization protocol ("bsp" or "asp").
+        app_name: label for the driver container.
+        hdfs: optionally share an existing filesystem (e.g. with a baseline
+            system reading the same input).
+    """
+
+    def __init__(self, cluster: ClusterConfig, *, sync_mode: str = "bsp",
+                 app_name: str = "psgraph",
+                 hdfs: Hdfs | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.cluster = cluster
+        self.spark = SparkContext(
+            cluster, app_name=app_name, hdfs=hdfs, metrics=metrics
+        )
+        self.ps = PSContext(self.spark, sync_mode=sync_mode)
+        self._stopped = False
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def hdfs(self) -> Hdfs:
+        """The shared filesystem."""
+        return self.spark.hdfs
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The shared metrics registry."""
+        return self.spark.metrics
+
+    def sim_time(self) -> float:
+        """Simulated job time so far, in seconds (driver clock)."""
+        return self.spark.sim_time()
+
+    def sync_clocks(self) -> float:
+        """Barrier driver + executors + servers; returns the time."""
+        self.spark.sync_clocks()
+        return self.ps.barrier()
+
+    def create_dataframe(self, rows: Iterable[tuple],
+                         schema: Sequence[str],
+                         num_partitions: int | None = None) -> DataFrame:
+        """Listing 1's ``SparkContext.createDataFrame``."""
+        return DataFrame(
+            self.spark.parallelize(list(rows), num_partitions), schema
+        )
+
+    def stop(self) -> None:
+        """Release every container of the session."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.ps.stop()
+        self.spark.stop()
+
+    def __enter__(self) -> "PSGraphContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

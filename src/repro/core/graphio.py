@@ -1,0 +1,50 @@
+"""GraphIO: loading inputs from and saving results to HDFS (Listing 1)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.context import PSGraphContext
+from repro.dataflow.dataframe import DataFrame
+from repro.dataflow.rdd import RDD
+
+
+class GraphIO:
+    """Static helpers mirroring the paper's ``GraphIO.load`` / ``save``."""
+
+    @staticmethod
+    def load(ctx: PSGraphContext, path: str, *, weighted: bool = False,
+             num_partitions: int | None = None) -> RDD:
+        """Load an HDFS edge list as an RDD of EdgeBlocks."""
+        from repro.core.ops import load_edges
+
+        return load_edges(
+            ctx.spark, path, weighted=weighted,
+            num_partitions=num_partitions,
+        )
+
+    @staticmethod
+    def save(df: DataFrame, path: str) -> None:
+        """Save a result DataFrame as tab-separated text on HDFS."""
+        df.rdd.map(
+            lambda row: "\t".join(str(v) for v in row)
+        ).save_as_text_file(path)
+
+    @staticmethod
+    def save_vertex_values(ctx: PSGraphContext, path: str, ids: np.ndarray,
+                           values: np.ndarray,
+                           num_partitions: int | None = None) -> None:
+        """Save parallel (vertex, value) arrays as text on HDFS."""
+        rows = list(zip(ids.tolist(), np.asarray(values).tolist()))
+        ctx.spark.parallelize(rows, num_partitions).map(
+            lambda kv: f"{kv[0]}\t{kv[1]}"
+        ).save_as_text_file(path)
+
+    @staticmethod
+    def load_vertex_values(ctx: PSGraphContext, path: str) -> Iterator[tuple]:
+        """Read back (vertex, value) pairs written by save_vertex_values."""
+        for line in ctx.spark.text_file(path).collect():
+            v, _, x = line.partition("\t")
+            yield int(v), float(x)

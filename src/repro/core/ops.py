@@ -1,0 +1,189 @@
+"""GraphOps: the edge-list / neighbor-table transformations of PSGraph.
+
+Sec. IV-A: "We then use the groupBy operator to transform the original
+edge-partitioned graph data to the format of vertex partitioning, that is,
+each item in RDD is a neighbor table".  These helpers implement that
+pipeline over columnar blocks, through the metered shuffle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.blocks import EdgeBlock, NeighborBlock, build_neighbor_block
+from repro.dataflow.context import SparkContext
+from repro.dataflow.partitioner import HashPartitioner
+from repro.dataflow.rdd import RDD
+from repro.dataflow.taskctx import current_task_context
+
+
+def charge_primitive_compute(cost_model, records: float) -> None:
+    """Charge primitive-array CPU time to the currently running task.
+
+    PSGraph's executor loops run over primitive collections (Angel's
+    design); algorithms call this for each block they process so sim-time
+    reflects the work.  A no-op outside a task (driver-side tests).
+    """
+    tctx = current_task_context()
+    if tctx is not None:
+        tctx.cost.cpu_s += cost_model.primitive_compute_time(records)
+
+
+def parse_edge_lines(lines: Iterator[str],
+                     weighted: bool = False) -> EdgeBlock:
+    """Parse ``src<TAB>dst[<TAB>weight]`` lines into one EdgeBlock."""
+    srcs: List[int] = []
+    dsts: List[int] = []
+    weights: List[float] = []
+    for line in lines:
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        srcs.append(int(parts[0]))
+        dsts.append(int(parts[1]))
+        if weighted:
+            weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    return EdgeBlock(
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights) if weighted else None,
+    )
+
+
+def load_edges(spark: SparkContext, path: str, *, weighted: bool = False,
+               num_partitions: int | None = None) -> RDD:
+    """Load an HDFS edge list into an RDD of EdgeBlocks (one per partition),
+    cached on the executors (Listing 1's ``GraphOps.loadEdges``)."""
+    lines = spark.text_file(path, num_partitions)
+    blocks = lines.map_partitions(
+        lambda it: [parse_edge_lines(it, weighted)]
+    )
+    return blocks.cache()
+
+
+def edges_from_arrays(spark: SparkContext, src: np.ndarray, dst: np.ndarray,
+                      weight: Optional[np.ndarray] = None,
+                      num_partitions: int | None = None) -> RDD:
+    """Driver-side arrays -> RDD of EdgeBlocks (testing convenience)."""
+    p = num_partitions or spark.cluster.parallelism
+    p = max(1, min(p, max(1, len(src))))
+    blocks = [
+        EdgeBlock(
+            np.asarray(src[i::p], dtype=np.int64),
+            np.asarray(dst[i::p], dtype=np.int64),
+            np.asarray(weight[i::p]) if weight is not None else None,
+        )
+        for i in range(p)
+    ]
+    return spark.parallelize(blocks, p)
+
+
+def max_vertex_id(edges: RDD) -> int:
+    """Largest vertex id appearing in the edge blocks."""
+    def block_max(it: Iterator[EdgeBlock]) -> int:
+        best = -1
+        for b in it:
+            if b.num_edges:
+                best = max(best, int(b.src.max()), int(b.dst.max()))
+        return best
+
+    return max(edges.foreach_partition(block_max))
+
+
+def count_edges(edges: RDD) -> int:
+    """Total edges across all blocks."""
+    return sum(
+        edges.foreach_partition(lambda it: sum(b.num_edges for b in it))
+    )
+
+
+def to_neighbor_tables(edges: RDD, num_partitions: int | None = None, *,
+                       symmetric: bool = False, dedupe: bool = False,
+                       weighted: bool = False) -> RDD:
+    """The groupBy of Sec. IV-A: edge partitioning -> vertex partitioning.
+
+    Produces an RDD of :class:`NeighborBlock`, vertex-partitioned by
+    ``src mod P``.  ``symmetric=True`` also adds the reverse direction
+    (undirected neighborhoods, needed by common neighbor, K-core, fast
+    unfolding).  The shuffle and the reduce-side CSR build are fully
+    metered.
+    """
+    spark = edges.ctx
+    p = num_partitions or edges.num_partitions
+    partitioner = HashPartitioner(p)
+
+    def emit(it: Iterator[EdgeBlock]) -> Iterator[Tuple[int, EdgeBlock]]:
+        for block in it:
+            w = block.weight if weighted else None
+            directions = [(block.src, block.dst, w)]
+            if symmetric:
+                directions.append((block.dst, block.src, w))
+            for targets, others, ws in directions:
+                pids = (targets % p).astype(np.int64)
+                for pid in np.unique(pids):
+                    mask = pids == pid
+                    yield (
+                        int(pid),
+                        EdgeBlock(targets[mask], others[mask],
+                                  ws[mask] if ws is not None else None),
+                    )
+
+    shuffled = edges.map_partitions(emit).partition_by(partitioner)
+
+    def merge(it: Iterator[Tuple[int, EdgeBlock]]) -> Iterator[NeighborBlock]:
+        chunks = [payload for _pid, payload in it]
+        if not chunks:
+            yield build_neighbor_block(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+            return
+        targets = np.concatenate([c.src for c in chunks])
+        others = np.concatenate([c.dst for c in chunks])
+        weights = (
+            np.concatenate([c.weight for c in chunks])
+            if weighted and chunks[0].weight is not None else None
+        )
+        tctx = current_task_context()
+        block = build_neighbor_block(targets, others, weights, dedupe)
+        if tctx is not None:
+            # The CSR build sorts the fetched arrays in place (primitive
+            # arrays, no boxed temp table) — only CPU is charged here; the
+            # resulting block's memory is charged when the RDD is cached.
+            cm = edges.ctx.cluster.cost_model
+            tctx.cost.cpu_s += cm.primitive_compute_time(len(targets))
+        yield block
+
+    return shuffled.map_partitions(merge)
+
+
+def push_neighbor_tables(neighbor_blocks: RDD, table) -> int:
+    """Push an RDD of NeighborBlocks into a PS neighbor table.
+
+    Returns the number of vertices pushed.  This is the "push the neighbor
+    tables to PS" step of common neighbor (Sec. IV-B).
+    """
+    def push(it: Iterator[NeighborBlock]) -> int:
+        pushed = 0
+        for block in it:
+            if block.num_vertices == 0:
+                continue
+            table.push(block.vertices, block.neighbor_arrays())
+            pushed += block.num_vertices
+        return pushed
+
+    return sum(neighbor_blocks.foreach_partition(push))
+
+
+def push_degrees(neighbor_blocks: RDD, vector, col: int = 0) -> None:
+    """Push per-vertex degrees from neighbor blocks into a PS matrix col."""
+    def push(it: Iterator[NeighborBlock]) -> None:
+        for block in it:
+            if block.num_vertices:
+                vector.push(
+                    block.vertices,
+                    block.degrees().astype(np.float64), col=col,
+                )
+
+    neighbor_blocks.foreach_partition(push)

@@ -1,0 +1,59 @@
+"""Broadcast variables — driver data shipped once to every executor.
+
+Spark broadcasts read-only values (lookup maps, model snapshots) to the
+executors instead of re-serializing them into every task closure.  The
+simulated broadcast charges one network transfer per executor (a tree
+broadcast would be log-depth; per-executor link time is what matters for
+the stage critical path) and resident executor memory until
+``unpersist()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.common.sizeof import sizeof
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.context import SparkContext
+
+_broadcast_ids = itertools.count()
+
+
+class Broadcast:
+    """Handle to a broadcast value.
+
+    Attributes:
+        value: the broadcast payload (read-only by convention).
+    """
+
+    def __init__(self, ctx: "SparkContext", value: Any) -> None:
+        self._ctx = ctx
+        self.id = next(_broadcast_ids)
+        self.value = value
+        self.nbytes = sizeof(value)
+        self._live = True
+        cm = ctx.cluster.cost_model
+        transfer = cm.network_time(self.nbytes)
+        tag = f"broadcast:{self.id}"
+        for executor in ctx.executors:
+            if not executor.alive:
+                continue
+            executor.container.clock.advance(transfer)
+            executor.container.memory.allocate(self.nbytes, tag=tag)
+        ctx.driver_clock.advance(transfer)
+
+    def unpersist(self) -> None:
+        """Release the broadcast copies from executor memory."""
+        if not self._live:
+            return
+        self._live = False
+        tag = f"broadcast:{self.id}"
+        for executor in self._ctx.executors:
+            executor.container.memory.release_tag(tag)
+
+    @property
+    def is_live(self) -> bool:
+        """Whether executor copies are still resident."""
+        return self._live

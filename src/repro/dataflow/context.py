@@ -1,0 +1,225 @@
+"""SparkContext — the driver-side entry point of the dataflow engine.
+
+"Spark has a context shared by all the executors, called SparkContext.
+PSGraph uses it to get Spark settings and runtime statistics" (Sec. III-C).
+The simulated context additionally owns the pieces a real cluster would
+distribute: the executors (Yarn containers), the shuffle service, the DAG
+scheduler, the HDFS client and the RPC environment shared with the parameter
+server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+from repro.common.config import ClusterConfig
+from repro.common.metrics import MetricsRegistry
+from repro.common.simclock import SimClock, barrier
+from repro.dataflow.executor import Executor
+from repro.dataflow.rdd import RDD, ParallelCollectionRDD, TextFileRDD
+from repro.dataflow.scheduler import DAGScheduler
+from repro.dataflow.shuffle import ShuffleService
+from repro.hdfs.filesystem import Hdfs
+from repro.net.rpc import RpcEnv
+from repro.yarn.resource_manager import Container, ResourceManager
+
+#: Hook signature: ``hook(stage_id, partition, kind)`` called after each task.
+TaskHook = Callable[[int, int, str], None]
+
+
+class SparkContext:
+    """Driver for one simulated Spark application.
+
+    Args:
+        cluster: resource allocation and cost model for the job.
+        hdfs: shared filesystem; created fresh when omitted.
+        metrics: shared metrics registry; created fresh when omitted.
+        resource_manager: shared Yarn; created fresh when omitted.
+        rpc: shared RPC fabric (the PS attaches here); created when omitted.
+        app_name: label used for the driver container id.
+        auto_restart_executors: when True (Spark's behaviour), a task routed
+            to a dead executor restarts it via the resource manager instead
+            of failing the job.
+    """
+
+    def __init__(self, cluster: ClusterConfig, *,
+                 hdfs: Hdfs | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 resource_manager: ResourceManager | None = None,
+                 rpc: RpcEnv | None = None,
+                 app_name: str = "app",
+                 auto_restart_executors: bool = True) -> None:
+        self.cluster = cluster
+        self.app_name = app_name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.hdfs = hdfs if hdfs is not None else Hdfs(
+            cluster.cost_model, self.metrics
+        )
+        self.resource_manager = (
+            resource_manager if resource_manager is not None
+            else ResourceManager(self.metrics)
+        )
+        self.rpc = rpc if rpc is not None else RpcEnv(
+            cluster.cost_model, self.metrics
+        )
+        self.auto_restart_executors = auto_restart_executors
+        self.driver: Container = self.resource_manager.request(
+            "driver", cluster.executor_mem_bytes, name=f"driver-{app_name}"
+        )
+        self.executors: List[Executor] = [
+            Executor(i, c)
+            for i, c in enumerate(
+                self.resource_manager.request_many(
+                    "executor", cluster.num_executors,
+                    cluster.executor_mem_bytes, cluster.executor_cores,
+                )
+            )
+        ]
+        self.shuffle_service = ShuffleService(cluster.cost_model, self.metrics)
+        self.scheduler = DAGScheduler(self)
+        self._task_hooks: List[TaskHook] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+
+    def parallelize(self, data: Iterable[Any],
+                    num_partitions: int | None = None) -> RDD:
+        """Distribute a driver-side collection into an RDD."""
+        data = list(data)
+        n = num_partitions or min(self.cluster.parallelism, max(1, len(data)))
+        return ParallelCollectionRDD(self, data, max(1, n))
+
+    def range(self, n: int, num_partitions: int | None = None) -> RDD:
+        """RDD of ``0 .. n-1``."""
+        return self.parallelize(range(n), num_partitions)
+
+    def empty_rdd(self) -> RDD:
+        """An RDD with a single empty partition."""
+        return ParallelCollectionRDD(self, [], 1)
+
+    def text_file(self, path: str,
+                  min_partitions: int | None = None) -> RDD:
+        """Lines of an HDFS file or directory."""
+        return TextFileRDD(self, path, min_partitions)
+
+    def union(self, rdds: List[RDD]) -> RDD:
+        """Union of several RDDs."""
+        from repro.dataflow.rdd import UnionRDD
+
+        return UnionRDD(self, rdds)
+
+    def broadcast(self, value: Any):
+        """Ship a read-only value to every executor (charged once each)."""
+        from repro.dataflow.broadcast import Broadcast
+
+        return Broadcast(self, value)
+
+    # ------------------------------------------------------------------
+    # executors, placement and failure
+    # ------------------------------------------------------------------
+
+    def live_executor_map(self) -> dict:
+        """Map of executor container id -> liveness, for the shuffle layer."""
+        return {ex.id: ex.alive for ex in self.executors}
+
+    def executor_for_partition(self, partition: int) -> Executor:
+        """Deterministic preferred executor for a partition, with failover.
+
+        Placement mixes the partition id (Knuth multiplicative hash) so
+        that partition schemes which are themselves modular (``v mod P``)
+        do not alias onto ``P mod E`` — otherwise several partitions of
+        the *same* skewed key range would stack on one executor.
+        """
+        mixed = (partition * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+        idx = mixed % len(self.executors)
+        executor = self.executors[idx]
+        if executor.alive:
+            return executor
+        if self.auto_restart_executors:
+            self.restart_executor(idx)
+            return executor
+        for off in range(1, len(self.executors)):
+            candidate = self.executors[(idx + off) % len(self.executors)]
+            if candidate.alive:
+                return candidate
+        raise RuntimeError("no live executors")
+
+    def kill_executor(self, index: int, reason: str = "failure injection"
+                      ) -> None:
+        """Failure injection: kill one executor, losing its cache and
+        shuffle outputs (Table II's "manually kill an executor")."""
+        executor = self.executors[index]
+        self.resource_manager.kill(executor.container, reason)
+        executor.invalidate()
+        self.shuffle_service.invalidate_executor(executor.id)
+
+    def restart_executor(self, index: int) -> Executor:
+        """Restart a dead executor via the resource manager."""
+        executor = self.executors[index]
+        self.resource_manager.restart(executor.container)
+        executor.invalidate()
+        return executor
+
+    def handle_executor_failure(self, executor: Executor) -> None:
+        """React to a mid-task container loss (scheduler callback)."""
+        executor.invalidate()
+        self.shuffle_service.invalidate_executor(executor.id)
+        if self.auto_restart_executors:
+            self.resource_manager.restart(executor.container)
+
+    # ------------------------------------------------------------------
+    # hooks & time
+    # ------------------------------------------------------------------
+
+    def add_task_hook(self, hook: TaskHook) -> None:
+        """Register a post-task callback (used for failure injection)."""
+        self._task_hooks.append(hook)
+
+    def remove_task_hook(self, hook: TaskHook) -> None:
+        """Unregister a post-task callback."""
+        self._task_hooks.remove(hook)
+
+    def notify_task_complete(self, stage_id: int, partition: int,
+                             kind: str) -> None:
+        """Invoke registered task hooks (called by the scheduler)."""
+        for hook in list(self._task_hooks):
+            hook(stage_id, partition, kind)
+
+    @property
+    def driver_clock(self) -> SimClock:
+        """The driver container's clock; job time is read from here."""
+        return self.driver.clock
+
+    def charge_driver_result(self, nbytes: int) -> None:
+        """Charge the driver for collecting ``nbytes`` of results."""
+        self.driver.clock.advance(
+            self.cluster.cost_model.network_time(nbytes)
+        )
+
+    def sim_time(self) -> float:
+        """Current simulated job time in seconds (driver clock)."""
+        return self.driver.clock.now_s
+
+    def sync_clocks(self) -> float:
+        """Barrier the driver with every live executor; returns the time."""
+        clocks = [self.driver.clock] + [
+            ex.container.clock for ex in self.executors if ex.alive
+        ]
+        return barrier(clocks)
+
+    def reset_clocks(self) -> None:
+        """Zero all clocks (between independent measurements)."""
+        self.driver.clock.reset()
+        for ex in self.executors:
+            ex.container.clock.reset()
+
+    def stop(self) -> None:
+        """Release every container owned by this context."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for ex in self.executors:
+            self.resource_manager.release(ex.container)
+        self.resource_manager.release(self.driver)

@@ -1,0 +1,230 @@
+"""DAG scheduler: stages, tasks, retries and failure recovery.
+
+An action walks the RDD lineage, materializes every missing shuffle (map
+stages) bottom-up, and then runs the result stage.  Tasks run sequentially in
+this process but *sim-time* is computed as if they ran in parallel: within a
+stage each executor's clock advances by the total cost of the tasks it was
+assigned (divided by its core count), and the stage ends with a barrier —
+exactly the behaviour of a synchronous Spark stage.
+
+Failure recovery mirrors Spark (Sec. III-C of the paper): a dead executor is
+restarted by the resource manager, its cached partitions and shuffle outputs
+are lost, and lost map outputs are recomputed from lineage when a reduce task
+discovers them missing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List
+
+from repro.common.errors import ContainerLostError, StageFailedError
+from repro.common.metrics import (
+    STAGES_RUN,
+    TASKS_FAILED,
+    TASKS_LAUNCHED,
+)
+from repro.common.simclock import barrier
+from repro.dataflow.shuffle import ShuffleOutputLostError
+from repro.dataflow.taskctx import TaskContext, metered, task_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.context import SparkContext
+    from repro.dataflow.rdd import RDD, ShuffleDependency
+
+#: Maximum attempts per task before the stage is declared failed.
+MAX_TASK_ATTEMPTS = 6
+
+
+class DAGScheduler:
+    """Schedules stages over the context's executors."""
+
+    def __init__(self, ctx: "SparkContext") -> None:
+        self.ctx = ctx
+        self._stage_seq = 0
+        self._deps_by_id: Dict[int, "ShuffleDependency"] = {}
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def run_job(self, rdd: "RDD",
+                func: Callable[[int, Iterator[Any]], Any]) -> List[Any]:
+        """Run ``func`` over every partition of ``rdd``; returns results."""
+        self._ensure_shuffles(rdd, set())
+        return self._run_result_stage(rdd, func)
+
+    def run_stage(self, num_partitions: int,
+                  task: Callable[[int, TaskContext], Any],
+                  kind: str = "custom") -> List[Any]:
+        """Run a custom stage of ``num_partitions`` tasks.
+
+        Used by GraphX, whose vertex/edge tables live outside the RDD
+        lineage but must share the same executors, cost accounting and
+        barrier semantics.  ``task(partition, tctx)`` runs with a live
+        TaskContext (so PS agents and the shuffle service charge it).
+        """
+        results = self._run_tasks(
+            list(range(num_partitions)), task, kind=kind
+        )
+        return [results[p] for p in range(num_partitions)]
+
+    # ------------------------------------------------------------------
+    # shuffle (map) stages
+    # ------------------------------------------------------------------
+
+    def _ensure_shuffles(self, rdd: "RDD", seen: set) -> None:
+        """Materialize, bottom-up, every shuffle the lineage depends on."""
+        for parent in rdd.narrow_parents:
+            if parent.id not in seen:
+                seen.add(parent.id)
+                self._ensure_shuffles(parent, seen)
+        for dep in rdd.shuffle_deps:
+            if dep.shuffle_id in self._deps_by_id and self._dep_complete(dep):
+                continue
+            self._ensure_shuffles(dep.parent, seen)
+            self._deps_by_id[dep.shuffle_id] = dep
+            self._run_map_stage(dep)
+
+    def _dep_complete(self, dep: "ShuffleDependency") -> bool:
+        live = self.ctx.live_executor_map()
+        svc = self.ctx.shuffle_service
+        return all(
+            svc.has_output(dep.shuffle_id, mp, live)
+            for mp in range(dep.parent.num_partitions)
+        )
+
+    def _run_map_stage(self, dep: "ShuffleDependency") -> None:
+        """Run map tasks for every missing partition of one shuffle."""
+        live = self.ctx.live_executor_map()
+        svc = self.ctx.shuffle_service
+        missing = [
+            mp for mp in range(dep.parent.num_partitions)
+            if not svc.has_output(dep.shuffle_id, mp, live)
+        ]
+        if not missing:
+            return
+
+        def map_task(mp: int, tctx: TaskContext) -> None:
+            self._write_map_output(dep, mp, tctx)
+
+        self._run_tasks(missing, map_task, kind=f"shuffle-{dep.shuffle_id}")
+
+    def _write_map_output(self, dep: "ShuffleDependency", mp: int,
+                          tctx: TaskContext) -> None:
+        cm = self.ctx.cluster.cost_model
+        records = metered(
+            dep.parent.iterator(mp, tctx), tctx.cost, cm.cpu_record_s
+        )
+        buckets: Dict[int, List[Any]] = defaultdict(list)
+        part = dep.partitioner
+        if dep.map_side_combine is not None:
+            create, merge = dep.map_side_combine
+            combined: Dict[Any, Any] = {}
+            for k, v in records:
+                if k in combined:
+                    combined[k] = merge(combined[k], v)
+                else:
+                    combined[k] = create(v)
+            for k, v in combined.items():
+                buckets[part.partition(k)].append((k, v))
+        else:
+            for k, v in records:
+                buckets[part.partition(k)].append((k, v))
+        self.ctx.shuffle_service.write(
+            dep.shuffle_id, mp, tctx.executor, dict(buckets), tctx.cost
+        )
+
+    def _recompute_shuffle(self, shuffle_id: int) -> None:
+        """Recompute lost map outputs after an executor death."""
+        dep = self._deps_by_id.get(shuffle_id)
+        if dep is None:
+            raise StageFailedError(
+                f"shuffle {shuffle_id} lost but its lineage is unknown"
+            )
+        # The parent lineage may itself depend on lost shuffles.
+        self._ensure_shuffles(dep.parent, set())
+        self._run_map_stage(dep)
+
+    # ------------------------------------------------------------------
+    # result stage
+    # ------------------------------------------------------------------
+
+    def _run_result_stage(self, rdd: "RDD",
+                          func: Callable[[int, Iterator[Any]], Any]
+                          ) -> List[Any]:
+        cm = self.ctx.cluster.cost_model
+
+        def result_task(p: int, tctx: TaskContext) -> Any:
+            records = metered(
+                rdd.iterator(p, tctx), tctx.cost, cm.cpu_record_s
+            )
+            return func(p, records)
+
+        results = self._run_tasks(
+            list(range(rdd.num_partitions)), result_task, kind="result"
+        )
+        return [results[p] for p in range(rdd.num_partitions)]
+
+    # ------------------------------------------------------------------
+    # task loop shared by map and result stages
+    # ------------------------------------------------------------------
+
+    def _run_tasks(self, partitions: List[int],
+                   task: Callable[[int, TaskContext], Any],
+                   kind: str) -> Dict[int, Any]:
+        ctx = self.ctx
+        metrics = ctx.metrics
+        stage_id = self._stage_seq
+        self._stage_seq += 1
+        metrics.inc(STAGES_RUN)
+
+        busy: Dict[int, float] = defaultdict(float)
+        results: Dict[int, Any] = {}
+        attempts: Dict[int, int] = defaultdict(int)
+        pending = list(partitions)
+        while pending:
+            p = pending.pop(0)
+            executor = ctx.executor_for_partition(p)
+            tctx = TaskContext(stage_id, p, executor, attempt=attempts[p])
+            metrics.inc(TASKS_LAUNCHED)
+            try:
+                with task_scope(tctx):
+                    executor.ensure_alive()
+                    result = task(p, tctx)
+            except ShuffleOutputLostError as lost:
+                metrics.inc(TASKS_FAILED)
+                attempts[p] += 1
+                if attempts[p] >= MAX_TASK_ATTEMPTS:
+                    raise StageFailedError(
+                        f"stage {stage_id} ({kind}): partition {p} kept "
+                        f"losing shuffle {lost.shuffle_id}"
+                    ) from lost
+                self._recompute_shuffle(lost.shuffle_id)
+                pending.insert(0, p)
+                continue
+            except ContainerLostError:
+                metrics.inc(TASKS_FAILED)
+                attempts[p] += 1
+                if attempts[p] >= MAX_TASK_ATTEMPTS:
+                    raise StageFailedError(
+                        f"stage {stage_id} ({kind}): partition {p} failed "
+                        f"{attempts[p]} times"
+                    )
+                ctx.handle_executor_failure(executor)
+                pending.insert(0, p)
+                continue
+            busy[executor.index] += tctx.cost.total_s
+            results[p] = result
+            ctx.notify_task_complete(stage_id, p, kind)
+        # Sim-time: each executor worked its share in parallel with the
+        # others; a stage ends at a barrier with the driver.
+        clocks = [ctx.driver_clock]
+        for ex in ctx.executors:
+            if ex.index in busy:
+                cores = max(1, ex.container.cores)
+                ex.container.clock.advance(busy[ex.index] / cores)
+            if ex.alive:
+                clocks.append(ex.container.clock)
+        barrier(clocks)
+        return results

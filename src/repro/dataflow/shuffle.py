@@ -1,0 +1,165 @@
+"""Hash shuffle with disk spill and metering.
+
+This module implements the mechanism the paper blames for GraphX's
+performance: "The join operation of Spark ... yields costly shuffle operation
+between the map task and the reduce task, which needs to write and read
+temporary data via the disk" (Sec. I).
+
+Map tasks bucket their output by reduce partition, paying serialization CPU,
+a transient in-memory sort buffer, and a disk write; reduce tasks pay a disk
+read plus network time for the remote fraction of the bytes.  Map outputs
+live on the executor that produced them, so killing an executor invalidates
+its outputs and forces the scheduler to recompute them — the Spark recovery
+path exercised by Table II.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.common.costs import CostModel
+from repro.common.errors import PSGraphError
+from repro.common.metrics import (
+    SHUFFLE_BYTES_READ,
+    SHUFFLE_BYTES_WRITTEN,
+    SHUFFLE_RECORDS,
+    MetricsRegistry,
+)
+from repro.common.simclock import TaskCost
+from repro.common.sizeof import sizeof_records
+from repro.dataflow.executor import Executor
+
+
+_shuffle_ids = itertools.count()
+
+
+def next_shuffle_id() -> int:
+    """Allocate a fresh shuffle id (shared by RDD and GraphX shuffles)."""
+    return next(_shuffle_ids)
+
+
+class ShuffleOutputLostError(PSGraphError):
+    """A reduce task needed map output whose owning executor died."""
+
+    def __init__(self, shuffle_id: int, map_partition: int) -> None:
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+        super().__init__(
+            f"shuffle {shuffle_id} lost output of map partition {map_partition}"
+        )
+
+
+@dataclass
+class MapOutput:
+    """Bucketed output of one map task."""
+
+    owner: str  # executor id that holds the files
+    buckets: Dict[int, List[Any]]
+    bucket_bytes: Dict[int, int]
+    records: int
+
+
+@dataclass
+class ShuffleService:
+    """Cluster-wide registry of shuffle map outputs."""
+
+    cost_model: CostModel
+    metrics: MetricsRegistry | None = None
+    _outputs: Dict[Tuple[int, int], MapOutput] = field(default_factory=dict)
+
+    # -- map side ----------------------------------------------------------
+
+    def write(self, shuffle_id: int, map_partition: int, executor: Executor,
+              buckets: Dict[int, List[Any]], cost: TaskCost) -> MapOutput:
+        """Store one map task's bucketed output, charging the writer.
+
+        The writer pays: per-bucket serialization CPU, a transient in-memory
+        buffer of ``shuffle_buffer_overhead`` times the logical bytes (this
+        is where an undersized executor OOMs), and a disk write.
+        """
+        bucket_bytes = {r: sizeof_records(b) for r, b in buckets.items()}
+        total = sum(bucket_bytes.values())
+        records = sum(len(b) for b in buckets.values())
+        buffer_bytes = int(total * self.cost_model.shuffle_buffer_overhead)
+        # Spark's sort buffer spills when execution memory runs out, so the
+        # in-memory footprint is bounded; the full bytes still pay disk.
+        capacity = executor.container.memory.capacity
+        if capacity is not None:
+            buffer_bytes = min(buffer_bytes, int(capacity * 0.5))
+        tag = f"shuffle-buffer:{shuffle_id}:{map_partition}"
+        executor.container.memory.allocate(buffer_bytes, tag=tag)
+        try:
+            cost.cpu_s += self.cost_model.serialization_time(total)
+            cost.disk_s += self.cost_model.disk_write_time(total)
+        finally:
+            executor.container.memory.release_tag(tag)
+        out = MapOutput(executor.id, buckets, bucket_bytes, records)
+        self._outputs[(shuffle_id, map_partition)] = out
+        if self.metrics is not None:
+            self.metrics.inc(SHUFFLE_BYTES_WRITTEN, total)
+            self.metrics.inc(SHUFFLE_RECORDS, records)
+        return out
+
+    def has_output(self, shuffle_id: int, map_partition: int,
+                   live_executors: Dict[str, bool]) -> bool:
+        """True if the map output exists and its owner is still alive."""
+        out = self._outputs.get((shuffle_id, map_partition))
+        return out is not None and live_executors.get(out.owner, False)
+
+    # -- reduce side ---------------------------------------------------------
+
+    def read(self, shuffle_id: int, reduce_partition: int,
+             num_map_partitions: int, executor: Executor, cost: TaskCost,
+             live_executors: Dict[str, bool]) -> List[Any]:
+        """Fetch all buckets for ``reduce_partition``, charging the reader.
+
+        Raises:
+            ShuffleOutputLostError: if any required map output's owner died;
+                the scheduler reacts by recomputing the map stage.
+        """
+        records: List[Any] = []
+        local_bytes = 0
+        remote_bytes = 0
+        for mp in range(num_map_partitions):
+            out = self._outputs.get((shuffle_id, mp))
+            if out is None or not live_executors.get(out.owner, False):
+                raise ShuffleOutputLostError(shuffle_id, mp)
+            bucket = out.buckets.get(reduce_partition)
+            if not bucket:
+                continue
+            nbytes = out.bucket_bytes.get(reduce_partition, 0)
+            if out.owner == executor.id:
+                local_bytes += nbytes
+            else:
+                remote_bytes += nbytes
+            records.extend(bucket)
+        total = local_bytes + remote_bytes
+        cost.disk_s += self.cost_model.disk_read_time(total)
+        cost.net_s += self.cost_model.network_time(remote_bytes)
+        cost.cpu_s += self.cost_model.serialization_time(total)
+        if self.metrics is not None:
+            self.metrics.inc(SHUFFLE_BYTES_READ, total)
+        return records
+
+    # -- failure handling ---------------------------------------------------
+
+    def invalidate_executor(self, executor_id: str) -> int:
+        """Drop every map output owned by a dead executor; returns count."""
+        doomed = [
+            k for k, out in self._outputs.items() if out.owner == executor_id
+        ]
+        for k in doomed:
+            del self._outputs[k]
+        return len(doomed)
+
+    def drop_shuffle(self, shuffle_id: int) -> None:
+        """Discard all outputs of one shuffle (job cleanup)."""
+        doomed = [k for k in self._outputs if k[0] == shuffle_id]
+        for k in doomed:
+            del self._outputs[k]
+
+    def output_exists(self, shuffle_id: int, map_partition: int) -> bool:
+        """True if any output is registered (regardless of owner liveness)."""
+        return (shuffle_id, map_partition) in self._outputs

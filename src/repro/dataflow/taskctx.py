@@ -1,0 +1,72 @@
+"""Task execution context.
+
+One :class:`TaskContext` exists while a dataflow task runs a partition on an
+executor.  It carries the cost accumulator for the task, the executor's
+memory tracker, and cluster-wide handles, and is published through a
+context variable so code called from *inside* user functions — most
+importantly the PS agent's pull/push — can charge the running task without
+plumbing arguments through every lambda.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.simclock import TaskCost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.executor import Executor
+
+
+@dataclass
+class TaskContext:
+    """State of one running task.
+
+    Attributes:
+        stage_id: id of the enclosing stage.
+        partition_id: partition this task computes.
+        executor: executor the task runs on.
+        cost: simulated cost accumulated by the task so far.
+        attempt: retry attempt number (0 = first try).
+    """
+
+    stage_id: int
+    partition_id: int
+    executor: "Executor"
+    cost: TaskCost = field(default_factory=TaskCost)
+    attempt: int = 0
+
+
+_current: contextvars.ContextVar[TaskContext | None] = contextvars.ContextVar(
+    "repro_dataflow_task_context", default=None
+)
+
+
+def current_task_context() -> TaskContext | None:
+    """The task context of the currently executing task, if any."""
+    return _current.get()
+
+
+class task_scope:
+    """Context manager installing ``tctx`` as the current task context."""
+
+    def __init__(self, tctx: TaskContext) -> None:
+        self._tctx = tctx
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> TaskContext:
+        self._token = _current.set(self._tctx)
+        return self._tctx
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+
+
+def metered(iterator: Iterator, cost: TaskCost, cpu_record_s: float) -> Iterator:
+    """Wrap an iterator, charging per-record CPU to ``cost`` as it is drained."""
+    for item in iterator:
+        cost.cpu_s += cpu_record_s
+        yield item

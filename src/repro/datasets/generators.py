@@ -1,0 +1,165 @@
+"""Synthetic graph generators.
+
+The paper's datasets are proprietary WeChat-scale graphs; the reproduction
+substitutes seeded synthetic graphs that preserve the properties the
+evaluation depends on: power-law degree distributions (who OOMs under
+vertex replication), the edges/vertex ratio (shuffle and PS traffic
+volumes), community structure (fast unfolding / label propagation have
+something to find) and learnable vertex labels (GraphSage accuracy is
+meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+def powerlaw_graph(num_vertices: int, num_edges: int, *,
+                   exponent: float = 2.2,
+                   max_degree_share: float = 0.002,
+                   seed: int | None = None
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed Chung-Lu style power-law graph.
+
+    Endpoint ``i`` is drawn with probability proportional to
+    ``(i+1)^(-1/(exponent-1))``, giving an (approximate) power-law degree
+    distribution with the given exponent — hubs exist, as in social graphs.
+
+    Args:
+        max_degree_share: cap on any single vertex's share of edge
+            endpoints.  Friendship graphs have hard degree caps (WeChat
+            historically 5000 friends vs ~275 average, i.e. hubs at most
+            ~20x the mean), whereas a small graph sampled from the raw
+            power-law would hand its hub a far larger *relative* share —
+            distorting the memory profile the reproduction scales down.
+            The default keeps ``max_degree ~ 15-20x mean degree``.
+
+    Returns:
+        ``(src, dst)`` int64 arrays of length ``num_edges`` (self-loops
+        removed by resampling the destination).
+    """
+    if num_vertices < 2:
+        raise ConfigError("need at least 2 vertices")
+    if num_edges <= 0:
+        raise ConfigError("need at least 1 edge")
+    if not 0 < max_degree_share <= 1:
+        raise ConfigError("max_degree_share must be in (0, 1]")
+    rng = make_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    probs = weights / weights.sum()
+    for _ in range(8):  # iterative water-filling to respect the cap
+        over = probs > max_degree_share
+        if not over.any():
+            break
+        excess = (probs[over] - max_degree_share).sum()
+        probs[over] = max_degree_share
+        under = ~over
+        probs[under] += excess * probs[under] / probs[under].sum()
+    probs = probs / probs.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=probs)
+    dst = rng.choice(num_vertices, size=num_edges, p=probs)
+    loops = src == dst
+    while loops.any():
+        dst[loops] = rng.choice(num_vertices, size=int(loops.sum()), p=probs)
+        loops = src == dst
+    # Scatter ids so vertex index does not encode degree rank.
+    perm = rng.permutation(num_vertices)
+    return perm[src].astype(np.int64), perm[dst].astype(np.int64)
+
+
+def community_graph(num_vertices: int, num_communities: int, *,
+                    avg_degree: float = 8.0, mixing: float = 0.1,
+                    seed: int | None = None
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Planted-partition graph with known communities.
+
+    Each vertex draws ``avg_degree`` endpoints, a fraction ``mixing`` of
+    them outside its community.
+
+    Returns:
+        ``(src, dst, communities)``: edge arrays plus the ground-truth
+        community id per vertex.
+    """
+    if num_communities < 1 or num_communities > num_vertices:
+        raise ConfigError("bad num_communities")
+    if not 0.0 <= mixing <= 1.0:
+        raise ConfigError("mixing must be in [0, 1]")
+    rng = make_rng(seed)
+    communities = rng.integers(0, num_communities, size=num_vertices)
+    members = [np.flatnonzero(communities == c)
+               for c in range(num_communities)]
+    num_edges = max(1, int(num_vertices * avg_degree / 2))
+    src = rng.integers(0, num_vertices, size=num_edges)
+    outside = rng.random(num_edges) < mixing
+    dst = np.empty(num_edges, dtype=np.int64)
+    for i, s in enumerate(src.tolist()):
+        if outside[i]:
+            dst[i] = rng.integers(0, num_vertices)
+        else:
+            pool = members[communities[s]]
+            dst[i] = pool[rng.integers(0, len(pool))]
+    keep = src != dst
+    return (src[keep].astype(np.int64), dst[keep].astype(np.int64),
+            communities.astype(np.int64))
+
+
+def vertex_features(communities: np.ndarray, feature_dim: int,
+                    num_classes: int | None = None, *,
+                    noise: float = 1.0, seed: int | None = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Community-correlated Gaussian features and labels.
+
+    Each community gets a random mean vector; vertices sample around their
+    community mean, and the label is the community modulo ``num_classes``.
+    A GNN that aggregates neighborhoods (which are community-biased) can
+    denoise the features — the learnable task behind Table I.
+
+    Returns:
+        ``(features float32 (n, d), labels int64 (n,))``.
+    """
+    rng = make_rng(seed)
+    communities = np.asarray(communities)
+    num_comm = int(communities.max()) + 1
+    if num_classes is None:
+        num_classes = num_comm
+    means = rng.standard_normal((num_comm, feature_dim)) * 2.0
+    feats = (means[communities]
+             + rng.standard_normal((len(communities), feature_dim)) * noise)
+    labels = (communities % num_classes).astype(np.int64)
+    return feats.astype(np.float32), labels
+
+
+def edge_weights(num_edges: int, *, low: float = 0.5, high: float = 1.5,
+                 seed: int | None = None) -> np.ndarray:
+    """Uniform random edge weights (fast unfolding takes a weighted graph)."""
+    rng = make_rng(seed)
+    return rng.uniform(low, high, size=num_edges)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics used by tests and reports."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    mean_degree: float
+
+
+def graph_stats(src: np.ndarray, dst: np.ndarray) -> GraphStats:
+    """Compute basic statistics of an edge list (out-degree based)."""
+    n = int(max(src.max(), dst.max())) + 1
+    deg = np.bincount(src, minlength=n)
+    return GraphStats(
+        num_vertices=n,
+        num_edges=len(src),
+        max_degree=int(deg.max()),
+        mean_degree=float(deg.mean()),
+    )

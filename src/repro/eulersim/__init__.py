@@ -1,0 +1,5 @@
+"""Euler baseline simulation (Table I comparison system)."""
+
+from repro.eulersim.euler import JSON_INFLATION, EulerSystem
+
+__all__ = ["EulerSystem", "JSON_INFLATION"]

@@ -1,0 +1,42 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    ablation_delta_pagerank,
+    ablation_line_psfunc,
+    ablation_partitioners,
+    ablation_sync_modes,
+)
+from repro.experiments.figure6 import FIG6_CELLS, PAPER_FIG6, run_figure6
+from repro.experiments.harness import (
+    ExperimentRow,
+    format_rows,
+    speedup,
+    timed_run,
+)
+from repro.experiments.line_epochs import run_line_epochs
+from repro.experiments.resources import run_resource_efficiency
+from repro.experiments.scaling import scaling_executors, scaling_servers
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+__all__ = [
+    "ExperimentRow",
+    "FIG6_CELLS",
+    "PAPER_FIG6",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "ablation_delta_pagerank",
+    "ablation_line_psfunc",
+    "ablation_partitioners",
+    "ablation_sync_modes",
+    "format_rows",
+    "run_figure6",
+    "run_line_epochs",
+    "run_resource_efficiency",
+    "run_table1",
+    "run_table2",
+    "scaling_executors",
+    "scaling_servers",
+    "speedup",
+    "timed_run",
+]

@@ -1,0 +1,198 @@
+"""Figure 6 — PSGraph vs GraphX on traditional graph algorithms.
+
+Paper cells (runtime in hours; "OOM" = out of memory at 55 GB/executor):
+
+=====================  =====  ========  =======
+cell                    DS     PSGraph   GraphX
+=====================  =====  ========  =======
+PageRank               DS1    0.5       4
+PageRank               DS2    7         OOM
+Common Neighbor        DS1    0.5       1.5
+Common Neighbor        DS2    3.5       OOM
+Fast Unfolding         DS1    3.5       10.3
+K-Core                 DS1    2         OOM
+Triangle Count         DS1    0.7       OOM
+=====================  =====  ========  =======
+
+Resources follow Sec. V-B1, scaled with the datasets: PSGraph gets 100
+executors (20 GB) + 20 PS (15 GB) on DS1 and 300 executors (30 GB) + 200 PS
+(30 GB) on DS2; GraphX gets 100x55 GB (DS1) and 500x55 GB (DS2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import (
+    graphx_config_ds1,
+    graphx_config_ds2,
+    psgraph_config_ds1,
+    psgraph_config_ds2,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.rng import DEFAULT_SEED
+from repro.core.algorithms import (
+    CommonNeighbor,
+    FastUnfolding,
+    KCore,
+    PageRank,
+    TriangleCount,
+)
+from repro.core.context import PSGraphContext
+from repro.core.runner import GraphRunner
+from repro.dataflow.context import SparkContext
+from repro.datasets.tencent import ds1_spec, ds2_spec, generate_edges, write_edges
+from repro.experiments.harness import ExperimentRow, timed_run
+from repro.graphx import graph as gxgraph
+from repro.graphx import algorithms as gxalgo
+from repro.graphx.fast_unfolding import fast_unfolding as gx_fast_unfolding
+from repro.hdfs.filesystem import Hdfs
+
+#: Paper-reported hours per (algorithm, dataset, system); None = OOM.
+PAPER_FIG6: Dict[Tuple[str, str, str], Optional[float]] = {
+    ("PageRank", "DS1", "PSGraph"): 0.5,
+    ("PageRank", "DS1", "GraphX"): 4.0,
+    ("PageRank", "DS2", "PSGraph"): 7.0,
+    ("PageRank", "DS2", "GraphX"): None,
+    ("CommonNeighbor", "DS1", "PSGraph"): 0.5,
+    ("CommonNeighbor", "DS1", "GraphX"): 1.5,
+    ("CommonNeighbor", "DS2", "PSGraph"): 3.5,
+    ("CommonNeighbor", "DS2", "GraphX"): None,
+    ("FastUnfolding", "DS1", "PSGraph"): 3.5,
+    ("FastUnfolding", "DS1", "GraphX"): 10.3,
+    ("KCore", "DS1", "PSGraph"): 2.0,
+    ("KCore", "DS1", "GraphX"): None,
+    ("TriangleCount", "DS1", "PSGraph"): 0.7,
+    ("TriangleCount", "DS1", "GraphX"): None,
+}
+
+#: Iteration budgets shared by both systems (identical work per cell).
+PAGERANK_ITERS = 20
+KCORE_ITERS = 40
+FU_PASSES = 2
+FU_MOVE_ITERS = 4
+
+#: The cells of the figure: (algorithm, dataset).
+FIG6_CELLS: List[Tuple[str, str]] = [
+    ("PageRank", "DS1"),
+    ("PageRank", "DS2"),
+    ("CommonNeighbor", "DS1"),
+    ("CommonNeighbor", "DS2"),
+    ("FastUnfolding", "DS1"),
+    ("KCore", "DS1"),
+    ("TriangleCount", "DS1"),
+]
+
+
+def _psgraph_algo(name: str):
+    if name == "PageRank":
+        return PageRank(max_iterations=PAGERANK_ITERS, tol=0.0)
+    if name == "CommonNeighbor":
+        return CommonNeighbor(batch_size=8192)
+    if name == "FastUnfolding":
+        return FastUnfolding(num_passes=FU_PASSES,
+                             max_move_iterations=FU_MOVE_ITERS)
+    if name == "KCore":
+        return KCore(max_iterations=KCORE_ITERS)
+    if name == "TriangleCount":
+        return TriangleCount(batch_size=8192)
+    raise ValueError(name)
+
+
+def _graphx_run(name: str, ctx: SparkContext, src: np.ndarray,
+                dst: np.ndarray) -> object:
+    g = gxgraph.Graph.from_edges(ctx, src, dst)
+    if name == "PageRank":
+        return gxalgo.pagerank(g, max_iterations=PAGERANK_ITERS, tol=0.0)
+    if name == "CommonNeighbor":
+        # GraphX survives CN by processing edges in chunks (many repeated
+        # ship rounds — slow but memory-bounded, as in the paper's 1.5 h).
+        return gxalgo.common_neighbor(g, num_chunks=32)
+    if name == "FastUnfolding":
+        return gx_fast_unfolding(
+            ctx, src, dst, num_passes=FU_PASSES,
+            max_move_iterations=FU_MOVE_ITERS,
+        )
+    if name == "KCore":
+        return gxalgo.kcore(g, max_iterations=KCORE_ITERS)
+    if name == "TriangleCount":
+        return gxalgo.triangle_count(g)
+    raise ValueError(name)
+
+
+def run_figure6(scale_ds1: float = 1e-5, scale_ds2: float = 2e-6,
+                cells: Optional[List[Tuple[str, str]]] = None,
+                systems: Tuple[str, ...] = ("PSGraph", "GraphX"),
+                seed: int = DEFAULT_SEED) -> List[ExperimentRow]:
+    """Reproduce every cell of Figure 6; returns one row per (cell, system)."""
+    cells = cells or FIG6_CELLS
+    datasets = {}
+    for ds_name, spec in (("DS1", ds1_spec(scale_ds1)),
+                          ("DS2", ds2_spec(scale_ds2))):
+        if any(ds == ds_name for _a, ds in cells):
+            datasets[ds_name] = (spec, generate_edges(spec, seed))
+
+    rows: List[ExperimentRow] = []
+    for algo_name, ds_name in cells:
+        spec, (src, dst) = datasets[ds_name]
+        for system in systems:
+            if system == "PSGraph":
+                rows.append(_run_psgraph_cell(
+                    algo_name, ds_name, spec, src, dst
+                ))
+            else:
+                rows.append(_run_graphx_cell(
+                    algo_name, ds_name, spec, src, dst
+                ))
+    return rows
+
+
+def _run_psgraph_cell(algo_name: str, ds_name: str, spec, src, dst
+                      ) -> ExperimentRow:
+    base = psgraph_config_ds1() if ds_name == "DS1" else psgraph_config_ds2()
+    cluster = base.scaled(spec.scale)
+    hdfs = Hdfs(cluster.cost_model, MetricsRegistry())
+    write_edges(hdfs, "/input/edges", src, dst,
+                num_files=cluster.num_executors)
+    ctx = PSGraphContext(cluster, hdfs=hdfs, app_name=f"fig6-{algo_name}")
+    try:
+        runner = GraphRunner(ctx)
+        status, sim_s, wall_s, result = timed_run(
+            lambda: runner.run(_psgraph_algo(algo_name), "/input/edges"),
+            ctx.sim_time,
+        )
+        extra = {}
+        if status == "ok":
+            extra = {"iterations": result.iterations, **{
+                k: v for k, v in result.stats.items()
+                if isinstance(v, (int, float))
+            }}
+        return ExperimentRow(
+            "figure6", "PSGraph", ds_name, algo_name, status, sim_s,
+            spec.scale,
+            paper_value=PAPER_FIG6[(algo_name, ds_name, "PSGraph")],
+            wall_seconds=wall_s, extra=extra,
+        )
+    finally:
+        ctx.stop()
+
+
+def _run_graphx_cell(algo_name: str, ds_name: str, spec, src, dst
+                     ) -> ExperimentRow:
+    base = graphx_config_ds1() if ds_name == "DS1" else graphx_config_ds2()
+    cluster = base.scaled(spec.scale)
+    ctx = SparkContext(cluster, app_name=f"fig6-gx-{algo_name}")
+    try:
+        status, sim_s, wall_s, _result = timed_run(
+            lambda: _graphx_run(algo_name, ctx, src, dst), ctx.sim_time
+        )
+        return ExperimentRow(
+            "figure6", "GraphX", ds_name, algo_name, status, sim_s,
+            spec.scale,
+            paper_value=PAPER_FIG6[(algo_name, ds_name, "GraphX")],
+            wall_seconds=wall_s,
+        )
+    finally:
+        ctx.stop()

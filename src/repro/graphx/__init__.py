@@ -1,0 +1,26 @@
+"""GraphX baseline: table-join message passing on the dataflow engine."""
+
+from repro.graphx.algorithms import (
+    attach_neighbor_sets,
+    common_neighbor,
+    connected_components,
+    kcore,
+    pagerank,
+    triangle_count,
+)
+from repro.graphx.fast_unfolding import fast_unfolding
+from repro.graphx.graph import Graph, VertexPartition
+from repro.graphx.pregel import pregel
+
+__all__ = [
+    "Graph",
+    "VertexPartition",
+    "attach_neighbor_sets",
+    "common_neighbor",
+    "connected_components",
+    "fast_unfolding",
+    "kcore",
+    "pagerank",
+    "pregel",
+    "triangle_count",
+]

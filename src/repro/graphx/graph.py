@@ -1,0 +1,372 @@
+"""GraphX baseline: property graph as vertex + edge tables.
+
+"GraphX stores graph data in a table abstraction, in which every executor
+(worker) stores an edge table and a vertex table ...  With a shared-nothing
+architecture, GraphX uses the table-join operation of Spark to implement
+message passing" (Sec. I).  This module reproduces that design on the
+metered dataflow substrate:
+
+* edges are partitioned by a random vertex-cut; each edge partition keeps a
+  *routing table* of the vertices it references;
+* vertex attributes live in hash-partitioned vertex tables;
+* :meth:`Graph.aggregate_messages` is the three-shuffle join pipeline —
+  ship replicated vertex attributes to edge partitions, compute messages on
+  triplets, shuffle messages back and reduce — charging shuffle disk/network
+  and JVM-overhead temp tables at every step.
+
+The memory behaviour of Fig. 6 (GraphX OOMs on K-core / triangle count /
+DS2) emerges from exactly these charges: power-law hubs replicate to many
+edge partitions, and heavy vertex attributes (neighbor sets) multiply the
+replication cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import GraphLoadError
+from repro.common.sizeof import sizeof_records
+from repro.dataflow.context import SparkContext
+from repro.dataflow.shuffle import next_shuffle_id
+from repro.dataflow.taskctx import TaskContext
+
+#: A message send function: ``send(src, dst, src_attr, dst_attr)`` over one
+#: edge partition's arrays, returning a list of ``(target_ids, messages)``.
+SendFn = Callable[
+    [np.ndarray, np.ndarray, Any, Any],
+    List[Tuple[np.ndarray, np.ndarray]],
+]
+
+
+class VertexPartition:
+    """One hash partition of the vertex table: sorted ids + aligned attrs."""
+
+    def __init__(self, ids: np.ndarray, attrs: Any) -> None:
+        self.ids = ids
+        self.attrs = attrs  # np.ndarray aligned with ids, or list of arrays
+
+    def attr_nbytes(self) -> int:
+        """Logical bytes of this partition's attributes."""
+        if isinstance(self.attrs, np.ndarray):
+            return int(self.attrs.nbytes)
+        return sizeof_records(self.attrs)
+
+
+class Graph:
+    """A GraphX-style property graph bound to a SparkContext."""
+
+    def __init__(self, ctx: SparkContext,
+                 edge_parts: List[Tuple[np.ndarray, np.ndarray]],
+                 vertex_parts: List[VertexPartition],
+                 routing: List[List[np.ndarray]]) -> None:
+        self.ctx = ctx
+        self.edge_parts = edge_parts
+        self.vertex_parts = vertex_parts
+        #: routing[ep][vp] = vertex ids of partition vp referenced by ep.
+        self.routing = routing
+        self.num_edge_partitions = len(edge_parts)
+        self.num_vertex_partitions = len(vertex_parts)
+        self._charged_tags: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, ctx: SparkContext, src: np.ndarray, dst: np.ndarray,
+                   num_partitions: int | None = None) -> "Graph":
+        """Build a graph from edge arrays, charging executor memory for the
+        edge tables and routing tables (the GraphX resident footprint)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise GraphLoadError("src/dst length mismatch")
+        if len(src) == 0:
+            raise GraphLoadError("empty edge list")
+        if src.min() < 0 or dst.min() < 0:
+            raise GraphLoadError("negative vertex id")
+        p = num_partitions or ctx.cluster.parallelism
+        p = max(1, min(p, len(src)))
+        edge_parts = [
+            (src[i::p].copy(), dst[i::p].copy()) for i in range(p)
+        ]
+        all_ids = np.unique(np.concatenate([src, dst]))
+        vertex_parts = [
+            VertexPartition(all_ids[all_ids % p == vp],
+                            np.zeros(int((all_ids % p == vp).sum())))
+            for vp in range(p)
+        ]
+        routing: List[List[np.ndarray]] = []
+        for es, ed in edge_parts:
+            refs = np.unique(np.concatenate([es, ed]))
+            routing.append([refs[refs % p == vp] for vp in range(p)])
+        graph = cls(ctx, edge_parts, vertex_parts, routing)
+        graph._charge_resident()
+        return graph
+
+    def _charge_resident(self) -> None:
+        """Charge edge tables + routing tables to their executors' memory."""
+        cm = self.ctx.cluster.cost_model
+        for ep in range(self.num_edge_partitions):
+            executor = self.ctx.executor_for_partition(ep)
+            es, ed = self.edge_parts[ep]
+            refs = sum(len(r) for r in self.routing[ep])
+            nbytes = int(
+                (es.nbytes + ed.nbytes + refs * 8) * cm.jvm_object_overhead
+            )
+            tag = f"graphx:edges:{id(self)}:{ep}"
+            executor.container.memory.allocate(nbytes, tag=tag)
+            self._charged_tags.append((executor, tag))
+
+    def unpersist(self) -> None:
+        """Release the resident edge/routing memory."""
+        for executor, tag in self._charged_tags:
+            executor.container.memory.release_tag(tag)
+        self._charged_tags = []
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of (directed) edges."""
+        return sum(len(es) for es, _ed in self.edge_parts)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of distinct vertices."""
+        return sum(len(vp.ids) for vp in self.vertex_parts)
+
+    def collect_vertices(self) -> Tuple[np.ndarray, Any]:
+        """All vertex ids + attrs at the driver (small graphs only)."""
+        ids = np.concatenate([vp.ids for vp in self.vertex_parts])
+        first = self.vertex_parts[0].attrs
+        if isinstance(first, np.ndarray):
+            attrs = np.concatenate(
+                [vp.attrs for vp in self.vertex_parts]
+            )
+        else:
+            attrs = [a for vp in self.vertex_parts for a in vp.attrs]
+        order = np.argsort(ids, kind="stable")
+        if isinstance(attrs, np.ndarray):
+            return ids[order], attrs[order]
+        return ids[order], [attrs[i] for i in order]
+
+    # ------------------------------------------------------------------
+    # vertex updates
+    # ------------------------------------------------------------------
+
+    def map_vertices(self, fn: Callable[[np.ndarray, Any], Any]) -> None:
+        """Replace attrs per partition: ``new_attrs = fn(ids, attrs)``."""
+        def task(vp: int, tctx: TaskContext) -> None:
+            part = self.vertex_parts[vp]
+            part.attrs = fn(part.ids, part.attrs)
+            tctx.cost.cpu_s += (
+                self.ctx.cluster.cost_model.compute_time(len(part.ids))
+            )
+
+        self.ctx.scheduler.run_stage(
+            self.num_vertex_partitions, task, kind="graphx-map-vertices"
+        )
+
+    def join_messages(
+            self, messages: List[Tuple[np.ndarray, np.ndarray]],
+            fn: Callable[[np.ndarray, Any, np.ndarray, np.ndarray], Any],
+    ) -> None:
+        """Join aggregated messages back into vertex attrs.
+
+        ``fn(ids, attrs, msg_ids, msg_values)`` returns the new attrs for
+        the partition (vertices without messages keep their attr — the
+        callback decides, GraphX's ``joinVertices`` semantics).
+        """
+        def task(vp: int, tctx: TaskContext) -> None:
+            part = self.vertex_parts[vp]
+            msg_ids, msg_vals = messages[vp]
+            part.attrs = fn(part.ids, part.attrs, msg_ids, msg_vals)
+            tctx.cost.cpu_s += self.ctx.cluster.cost_model.compute_time(
+                len(part.ids) + len(msg_ids)
+            )
+
+        self.ctx.scheduler.run_stage(
+            self.num_vertex_partitions, task, kind="graphx-join"
+        )
+
+    # ------------------------------------------------------------------
+    # the join/shuffle message-passing pipeline
+    # ------------------------------------------------------------------
+
+    def aggregate_messages(
+            self, send: SendFn, reduce_op: str = "sum",
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """GraphX ``aggregateMessages``: three metered shuffle stages.
+
+        1. *Ship*: every vertex partition writes (ids, attrs) buckets for
+           each edge partition referencing them — the vertex-cut
+           replication join.
+        2. *Compute*: every edge partition fetches its replicated vertex
+           attrs (charging a JVM-overhead temp map), runs ``send`` on the
+           triplets, and shuffles messages by target vertex.
+        3. *Reduce*: every vertex partition fetches its messages and
+           segment-reduces them with ``reduce_op`` (sum/min/max).
+
+        Returns:
+            Per vertex partition, ``(ids, reduced_values)`` for vertices
+            that received at least one message.
+        """
+        ctx = self.ctx
+        cm = ctx.cluster.cost_model
+        ship_id = next_shuffle_id()
+        msg_id = next_shuffle_id()
+        p_e = self.num_edge_partitions
+        p_v = self.num_vertex_partitions
+
+        def ship_task(vp: int, tctx: TaskContext) -> None:
+            part = self.vertex_parts[vp]
+            buckets: Dict[int, List[Any]] = {}
+            for ep in range(p_e):
+                needed = self.routing[ep][vp]
+                if len(needed) == 0:
+                    continue
+                idx = np.searchsorted(part.ids, needed)
+                if isinstance(part.attrs, np.ndarray):
+                    attrs = part.attrs[idx]
+                else:
+                    attrs = [part.attrs[i] for i in idx]
+                buckets[ep] = [needed, attrs]
+            ctx.shuffle_service.write(
+                ship_id, vp, tctx.executor, buckets, tctx.cost
+            )
+
+        ctx.scheduler.run_stage(p_v, ship_task, kind="graphx-ship")
+
+        def compute_task(ep: int, tctx: TaskContext) -> None:
+            payload = ctx.shuffle_service.read(
+                ship_id, ep, p_v, tctx.executor, tctx.cost,
+                ctx.live_executor_map(),
+            )
+            # payload alternates [ids, attrs, ids, attrs, ...] per bucket.
+            id_chunks = payload[0::2]
+            attr_chunks = payload[1::2]
+            rep_ids = (np.concatenate(id_chunks) if id_chunks
+                       else np.empty(0, dtype=np.int64))
+            if attr_chunks and isinstance(attr_chunks[0], np.ndarray):
+                rep_attrs: Any = np.concatenate(attr_chunks)
+            else:
+                rep_attrs = [a for chunk in attr_chunks for a in chunk]
+            order = np.argsort(rep_ids, kind="stable")
+            rep_ids = rep_ids[order]
+            if isinstance(rep_attrs, np.ndarray):
+                rep_attrs = rep_attrs[order]
+            else:
+                rep_attrs = [rep_attrs[i] for i in order]
+            # The replicated vertex map is the join's temp table.
+            temp = int(
+                (rep_ids.nbytes + sizeof_records(rep_attrs))
+                * cm.jvm_object_overhead
+            )
+            tag = f"graphx-repmap:{ep}"
+            tctx.executor.container.memory.allocate(temp, tag=tag)
+            try:
+                es, ed = self.edge_parts[ep]
+                si = np.searchsorted(rep_ids, es)
+                di = np.searchsorted(rep_ids, ed)
+                if isinstance(rep_attrs, np.ndarray):
+                    src_attr = rep_attrs[si]
+                    dst_attr = rep_attrs[di]
+                else:
+                    src_attr = [rep_attrs[i] for i in si]
+                    dst_attr = [rep_attrs[i] for i in di]
+                outputs = send(es, ed, src_attr, dst_attr)
+                buckets: Dict[int, List[Any]] = {}
+                for targets, msgs in outputs:
+                    pids = targets % p_v
+                    for pid in np.unique(pids):
+                        mask = pids == pid
+                        bucket = buckets.setdefault(int(pid), [])
+                        bucket.append(targets[mask])
+                        if isinstance(msgs, np.ndarray):
+                            bucket.append(msgs[mask])
+                        else:
+                            bucket.append(
+                                [msgs[i] for i in np.flatnonzero(mask)]
+                            )
+                tctx.cost.cpu_s += cm.compute_time(len(es))
+                ctx.shuffle_service.write(
+                    msg_id, ep, tctx.executor, buckets, tctx.cost
+                )
+            finally:
+                tctx.executor.container.memory.release_tag(tag)
+
+        ctx.scheduler.run_stage(p_e, compute_task, kind="graphx-compute")
+
+        def reduce_task(vp: int, tctx: TaskContext
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+            payload = ctx.shuffle_service.read(
+                msg_id, vp, p_e, tctx.executor, tctx.cost,
+                ctx.live_executor_map(),
+            )
+            id_chunks = payload[0::2]
+            msg_chunks = payload[1::2]
+            if not id_chunks:
+                return (np.empty(0, dtype=np.int64), np.empty(0))
+            targets = np.concatenate(id_chunks)
+            msgs = np.concatenate(
+                [np.asarray(m) for m in msg_chunks]
+            )
+            temp = int(
+                (targets.nbytes + msgs.nbytes) * cm.jvm_object_overhead
+            )
+            tag = f"graphx-msgtable:{vp}"
+            tctx.executor.container.memory.allocate(temp, tag=tag)
+            try:
+                uids, inverse = np.unique(targets, return_inverse=True)
+                if reduce_op == "sum":
+                    out = np.zeros(len(uids), dtype=msgs.dtype)
+                    np.add.at(out, inverse, msgs)
+                elif reduce_op == "min":
+                    out = np.full(len(uids), np.inf, dtype=np.float64)
+                    np.minimum.at(out, inverse, msgs.astype(np.float64))
+                elif reduce_op == "max":
+                    out = np.full(len(uids), -np.inf, dtype=np.float64)
+                    np.maximum.at(out, inverse, msgs.astype(np.float64))
+                else:
+                    raise ValueError(f"unknown reduce_op {reduce_op!r}")
+                tctx.cost.cpu_s += cm.compute_time(len(targets))
+            finally:
+                tctx.executor.container.memory.release_tag(tag)
+            return (uids, out)
+
+        results = ctx.scheduler.run_stage(
+            p_v, reduce_task, kind="graphx-reduce"
+        )
+        ctx.shuffle_service.drop_shuffle(ship_id)
+        ctx.shuffle_service.drop_shuffle(msg_id)
+        return results
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    def out_degrees(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Out-degree per vertex (vertices with no out-edges are absent)."""
+        return self.aggregate_messages(
+            lambda es, ed, sa, da: [(es, np.ones(len(es)))], "sum"
+        )
+
+    def in_degrees(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """In-degree per vertex."""
+        return self.aggregate_messages(
+            lambda es, ed, sa, da: [(ed, np.ones(len(ed)))], "sum"
+        )
+
+    def degrees(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Total degree (in + out) per vertex."""
+        return self.aggregate_messages(
+            lambda es, ed, sa, da: [
+                (es, np.ones(len(es))), (ed, np.ones(len(ed)))
+            ],
+            "sum",
+        )

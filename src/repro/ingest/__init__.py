@@ -1,0 +1,5 @@
+"""Streaming ingestion (Kafka-style) into the PSGraph pipeline."""
+
+from repro.ingest.kafka import EdgeStreamConsumer, KafkaTopic
+
+__all__ = ["EdgeStreamConsumer", "KafkaTopic"]

@@ -1,0 +1,5 @@
+"""Metered in-process RPC fabric used by the PS agents, servers and master."""
+
+from repro.net.rpc import RpcEndpoint, RpcEnv
+
+__all__ = ["RpcEndpoint", "RpcEnv"]

@@ -1,0 +1,134 @@
+"""Metered in-process RPC fabric.
+
+The parameter-server agents in each Spark executor talk to the PS servers via
+"RPC (remote process call)" (Sec. III-C).  This module provides that fabric
+for the simulated cluster: named endpoints, request/response calls that
+charge simulated network time to the caller, and liveness so failure
+injection (killing a server) surfaces as :class:`RpcError` at call sites.
+
+Congestion is modelled explicitly because it is one of the paper's design
+motivations ("using one machine to store the latent vectors could cause
+serious network congestion"): when ``concurrent_clients`` exceed the number
+of serving endpoints, the effective per-transfer bandwidth shrinks
+proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.common.costs import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import EndpointNotFoundError, RpcError
+from repro.common.metrics import RPC_BYTES, RPC_CALLS, MetricsRegistry
+from repro.common.simclock import TaskCost
+from repro.common.sizeof import sizeof
+
+
+@dataclass
+class RpcEndpoint:
+    """One addressable party on the fabric (a PS server, the master, ...).
+
+    Attributes:
+        name: unique endpoint name.
+        handler: object whose methods are invoked by :meth:`RpcEnv.call`.
+        alive: dead endpoints reject calls with :class:`RpcError`.
+    """
+
+    name: str
+    handler: Any
+    alive: bool = True
+
+
+@dataclass
+class RpcEnv:
+    """Registry of endpoints plus the metered call path."""
+
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    metrics: MetricsRegistry | None = None
+    _endpoints: Dict[str, RpcEndpoint] = field(default_factory=dict)
+
+    def register(self, name: str, handler: Any) -> RpcEndpoint:
+        """Register ``handler`` under ``name`` (replacing a dead predecessor)."""
+        ep = RpcEndpoint(name, handler)
+        self._endpoints[name] = ep
+        return ep
+
+    def unregister(self, name: str) -> None:
+        """Remove an endpoint entirely."""
+        self._endpoints.pop(name, None)
+
+    def kill(self, name: str) -> None:
+        """Mark an endpoint dead; subsequent calls raise :class:`RpcError`."""
+        ep = self._endpoints.get(name)
+        if ep is None:
+            raise EndpointNotFoundError(name)
+        ep.alive = False
+
+    def revive(self, name: str, handler: Any | None = None) -> None:
+        """Bring an endpoint back, optionally with a fresh handler."""
+        ep = self._endpoints.get(name)
+        if ep is None:
+            raise EndpointNotFoundError(name)
+        ep.alive = True
+        if handler is not None:
+            ep.handler = handler
+
+    def is_alive(self, name: str) -> bool:
+        """Liveness check used by the PS master's health probes."""
+        ep = self._endpoints.get(name)
+        return ep is not None and ep.alive
+
+    def endpoint(self, name: str) -> RpcEndpoint:
+        """Look up an endpoint or raise :class:`EndpointNotFoundError`."""
+        ep = self._endpoints.get(name)
+        if ep is None:
+            raise EndpointNotFoundError(name)
+        return ep
+
+    def call(
+        self,
+        name: str,
+        method: str,
+        *args: Any,
+        cost: TaskCost | None = None,
+        request_bytes: int | None = None,
+        response_bytes: int | Callable[[Any], int] | None = None,
+        concurrent_clients: int = 1,
+        num_servers: int = 1,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``method`` on endpoint ``name`` and charge the caller.
+
+        Args:
+            cost: caller's task-cost accumulator; charged latency plus
+                transfer time for request and response payloads.
+            request_bytes: payload size of the request; estimated from
+                ``args`` when omitted.
+            response_bytes: payload size of the response — an int, a callable
+                applied to the returned value, or ``None`` to estimate.
+            concurrent_clients / num_servers: congestion inputs; bandwidth is
+                divided by ``max(1, concurrent_clients / num_servers)``.
+        """
+        ep = self.endpoint(name)
+        if not ep.alive:
+            raise RpcError(f"endpoint {name} is not alive")
+        fn = getattr(ep.handler, method, None)
+        if fn is None:
+            raise RpcError(f"endpoint {name} has no method {method!r}")
+        result = fn(*args, **kwargs)
+        if request_bytes is None:
+            request_bytes = sum(sizeof(a) for a in args)
+        if callable(response_bytes):
+            response_bytes = response_bytes(result)
+        elif response_bytes is None:
+            response_bytes = sizeof(result)
+        payload = request_bytes + response_bytes
+        congestion = max(1.0, concurrent_clients / max(1, num_servers))
+        if cost is not None:
+            cost.net_s += self.cost_model.network_time(payload, congestion)
+            cost.cpu_s += self.cost_model.serialization_time(payload)
+        if self.metrics is not None:
+            self.metrics.inc(RPC_CALLS)
+            self.metrics.inc(RPC_BYTES, payload)
+        return result

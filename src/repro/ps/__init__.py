@@ -1,0 +1,58 @@
+"""Distributed parameter server: servers, agents, psFunc, sync, recovery."""
+
+from repro.ps.context import PSContext
+from repro.ps.matrix import PSEmbedding, PSMatrix, PSNeighborTable, PSVector
+from repro.ps.meta import MatrixMeta
+from repro.ps.optimizer import SGD, AdaGrad, Adam, Momentum, Optimizer
+from repro.ps.partitioner import (
+    HashPSPartitioner,
+    HashRangePSPartitioner,
+    PSPartitioner,
+    RangePSPartitioner,
+    make_ps_partitioner,
+)
+from repro.ps.psfunc import (
+    AddColumn,
+    CountNonZero,
+    Fill,
+    MaxAbs,
+    PartialDot,
+    PsFunc,
+    RandomInit,
+    RankOneUpdate,
+    Scale,
+    VectorSum,
+)
+from repro.ps.server import PSServer
+from repro.ps.sync import SyncController
+
+__all__ = [
+    "AdaGrad",
+    "Adam",
+    "AddColumn",
+    "CountNonZero",
+    "Fill",
+    "HashPSPartitioner",
+    "HashRangePSPartitioner",
+    "MatrixMeta",
+    "MaxAbs",
+    "Momentum",
+    "Optimizer",
+    "PSContext",
+    "PSEmbedding",
+    "PSMatrix",
+    "PSNeighborTable",
+    "PSPartitioner",
+    "PSServer",
+    "PSVector",
+    "PartialDot",
+    "PsFunc",
+    "RandomInit",
+    "RangePSPartitioner",
+    "RankOneUpdate",
+    "SGD",
+    "Scale",
+    "SyncController",
+    "VectorSum",
+    "make_ps_partitioner",
+]

@@ -1,0 +1,438 @@
+"""PS agent — the client side of the parameter server.
+
+"PSGraph establishes a PS agent in every Spark executor to manage the data
+communication between Spark and PS.  When the PS agent needs to get a data
+item from the PS, it first uses the data index to get the partition location
+from PSContext ... then gets the required data from PS via RPC" (Sec. III-C).
+
+In the simulation a single :class:`PSAgent` object plays the role of all the
+per-executor agents: when called from inside a running dataflow task it
+charges *that task's* cost, otherwise the driver's clock.
+
+Cost model of one agent operation: the agent fans its per-partition requests
+out to all involved servers **concurrently**, so the operation takes one
+RPC latency plus the transfer time of the *most loaded server's* share of
+the bytes, inflated by the congestion factor (executors per server) —
+plus serialization CPU for the total payload.  This is why adding servers
+speeds PSGraph up and why "using one machine to store the latent vectors
+could cause serious network congestion" (Sec. IV-D).
+
+Failure handling follows Sec. III-B: if a server is dead, the agent asks
+the master to recover (restart via Yarn + reload HDFS checkpoints) and then
+retries once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import (
+    ContainerLostError,
+    EndpointNotFoundError,
+    RpcError,
+)
+from repro.common.metrics import (
+    PS_PSFUNC_CALLS,
+    PS_PULL_BYTES,
+    PS_PULLS,
+    PS_PUSH_BYTES,
+    PS_PUSHES,
+)
+from repro.common.simclock import TaskCost
+from repro.common.sizeof import sizeof
+from repro.dataflow.taskctx import current_task_context
+from repro.ps.meta import MatrixMeta
+from repro.ps.psfunc import PsFunc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ps.context import PSContext
+
+#: One request: (server_index, method, args, request_bytes, response_bytes)
+#: where response_bytes is an int or a callable over the result.
+Call = Tuple[int, str, tuple, int, Any]
+
+
+class PSAgent:
+    """Routes model requests to the right servers and meters them."""
+
+    def __init__(self, psctx: "PSContext") -> None:
+        self.psctx = psctx
+
+    # ------------------------------------------------------------------
+    # metered concurrent-call primitive
+    # ------------------------------------------------------------------
+
+    def _invoke(self, server_index: int, method: str, args: tuple) -> Any:
+        """One raw RPC with master-recovery retry (Sec. III-B)."""
+        psctx = self.psctx
+        endpoint = psctx.server_endpoint(server_index)
+        rpc = psctx.spark.rpc
+        try:
+            ep = rpc.endpoint(endpoint)
+            if not ep.alive:
+                raise RpcError(f"endpoint {endpoint} is not alive")
+            return getattr(ep.handler, method)(*args)
+        except EndpointNotFoundError:
+            raise
+        except (RpcError, ContainerLostError):
+            if not psctx.auto_recover:
+                raise
+            psctx.master.recover(psctx.recovery_mode)
+            ep = rpc.endpoint(endpoint)
+            return getattr(ep.handler, method)(*args)
+
+    def _group_call(self, calls: Sequence[Call]) -> List[Any]:
+        """Issue requests concurrently; charge the caller once.
+
+        Time charged = one latency + (bytes of the busiest server) x
+        congestion / bandwidth; CPU charged for serializing everything.
+        """
+        psctx = self.psctx
+        cm = psctx.spark.cluster.cost_model
+        tctx = current_task_context()
+        cost = tctx.cost if tctx is not None else TaskCost()
+        concurrent = psctx.spark.cluster.num_executors if tctx else 1
+        per_server: defaultdict = defaultdict(float)
+        total = 0.0
+        results: List[Any] = []
+        for server_index, method, args, req_bytes, resp_bytes in calls:
+            result = self._invoke(server_index, method, args)
+            results.append(result)
+            if callable(resp_bytes):
+                resp_bytes = resp_bytes(result)
+            nbytes = req_bytes + resp_bytes
+            per_server[server_index] += nbytes
+            total += nbytes
+        if calls:
+            busiest = max(per_server.values())
+            congestion = max(1.0, concurrent / max(1, psctx.num_servers))
+            cost.net_s += cm.network_time(busiest, congestion)
+            cost.cpu_s += cm.serialization_time(total)
+            metrics = psctx.spark.metrics
+            from repro.common.metrics import RPC_BYTES, RPC_CALLS
+
+            metrics.inc(RPC_CALLS, len(calls))
+            metrics.inc(RPC_BYTES, total)
+        if tctx is None:
+            psctx.spark.driver_clock.advance(cost.total_s)
+        return results
+
+    def _metrics(self):
+        return self.psctx.spark.metrics
+
+    # ------------------------------------------------------------------
+    # row pull/push/set (axis=0)
+    # ------------------------------------------------------------------
+
+    def pull(self, meta: MatrixMeta, keys: np.ndarray,
+             col: int | None = None) -> np.ndarray:
+        """Rows (or a single column of them) for ``keys``, in input order.
+
+        When the matrix has an agent-side pull cache enabled, cached keys
+        are served locally and only the misses hit the servers.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        ukeys, inverse = np.unique(keys, return_inverse=True)
+        if col is not None:
+            out = np.zeros(len(ukeys), dtype=meta.dtype)
+        else:
+            out = np.zeros((len(ukeys), meta.cols), dtype=meta.dtype)
+        cache = self.psctx.pull_cache(meta.name)
+        if cache is not None:
+            epoch = self.psctx.sync.epoch
+            hit_mask, hit_values = cache.lookup(ukeys, col, epoch)
+            for i in np.flatnonzero(hit_mask):
+                out[i] = hit_values[i]
+            if hit_mask.all():
+                return out[inverse]
+            miss = ~hit_mask
+            fetched = self._pull_from_servers(
+                meta, ukeys[miss], col,
+                np.zeros(int(miss.sum()), dtype=meta.dtype)
+                if col is not None
+                else np.zeros((int(miss.sum()), meta.cols),
+                              dtype=meta.dtype),
+            )
+            out[miss] = fetched
+            cache.store(ukeys[miss], col, fetched, epoch)
+            return out[inverse]
+        out = self._pull_from_servers(meta, ukeys, col, out)
+        return out[inverse]
+
+    def _pull_from_servers(self, meta: MatrixMeta, ukeys: np.ndarray,
+                           col: int | None, out: np.ndarray) -> np.ndarray:
+        """The uncached server fetch for unique ``ukeys``; fills ``out``."""
+        pids = meta.partitioner.partition_array(ukeys)
+        order = np.unique(pids)
+        calls: List[Call] = []
+        masks = []
+        for pid in order:
+            mask = pids == pid
+            subkeys = ukeys[mask]
+            masks.append(mask)
+            calls.append((
+                meta.server_of(int(pid)), "pull",
+                (meta.name, int(pid), subkeys, col),
+                int(subkeys.nbytes),
+                lambda v: int(v.nbytes),
+            ))
+        results = self._group_call(calls)
+        nbytes = 0
+        for mask, values in zip(masks, results):
+            out[mask] = values
+            nbytes += int(values.nbytes)
+        self._metrics().inc(PS_PULLS)
+        self._metrics().inc(PS_PULL_BYTES, nbytes + int(ukeys.nbytes))
+        return out
+
+    def push(self, meta: MatrixMeta, keys: np.ndarray, deltas: np.ndarray,
+             col: int | None = None) -> None:
+        """Increment rows for ``keys`` by ``deltas`` (duplicates add up)."""
+        self._write(meta, keys, deltas, col, "push")
+
+    def set(self, meta: MatrixMeta, keys: np.ndarray, values: np.ndarray,
+            col: int | None = None) -> None:
+        """Overwrite rows for ``keys`` with ``values``."""
+        self._write(meta, keys, values, col, "set")
+
+    def _write(self, meta: MatrixMeta, keys: np.ndarray,
+               values: np.ndarray, col: int | None, method: str) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        cache = self.psctx.pull_cache(meta.name)
+        if cache is not None:
+            cache.invalidate(keys)
+        values = np.asarray(values, dtype=meta.dtype)
+        pids = meta.partitioner.partition_array(keys)
+        calls: List[Call] = []
+        for pid in np.unique(pids):
+            mask = pids == pid
+            subkeys = keys[mask]
+            subvalues = values[mask]
+            calls.append((
+                meta.server_of(int(pid)), method,
+                (meta.name, int(pid), subkeys, subvalues, col),
+                int(subkeys.nbytes + subvalues.nbytes),
+                0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(
+            PS_PUSH_BYTES, int(keys.nbytes + values.nbytes)
+        )
+
+    def pull_all(self, meta: MatrixMeta) -> np.ndarray:
+        """The full matrix, assembled at the caller (axis=0 or axis=1)."""
+        if meta.axis == 1:
+            return self.pull_rows_full(
+                meta, np.arange(meta.rows, dtype=np.int64)
+            )
+        out = np.zeros((meta.rows, meta.cols), dtype=meta.dtype)
+        calls: List[Call] = []
+        key_sets = []
+        for pid in range(meta.num_partitions):
+            keys = meta.partitioner.keys_of_partition(pid)
+            key_sets.append(keys)
+            calls.append((
+                meta.server_of(pid), "pull",
+                (meta.name, pid, keys, None),
+                int(keys.nbytes),
+                lambda v: int(v.nbytes),
+            ))
+        for keys, values in zip(key_sets, self._group_call(calls)):
+            out[keys] = values
+        self._metrics().inc(PS_PULLS)
+        self._metrics().inc(PS_PULL_BYTES, int(out.nbytes))
+        return out
+
+    # ------------------------------------------------------------------
+    # column-shard operations (axis=1)
+    # ------------------------------------------------------------------
+
+    def pull_rows_full(self, meta: MatrixMeta,
+                       row_keys: np.ndarray) -> np.ndarray:
+        """Full rows of a column-sharded matrix (concatenated slices)."""
+        row_keys = np.asarray(row_keys, dtype=np.int64)
+        out = np.zeros((len(row_keys), meta.cols), dtype=meta.dtype)
+        calls: List[Call] = [
+            (
+                meta.server_of(pid), "pull_slices",
+                (meta.name, pid, row_keys),
+                int(row_keys.nbytes),
+                lambda v: int(v.nbytes),
+            )
+            for pid in range(meta.num_partitions)
+        ]
+        results = self._group_call(calls)
+        nbytes = 0
+        for pid, values in enumerate(results):
+            cols = meta.partitioner.keys_of_partition(pid)
+            out[:, cols] = values
+            nbytes += int(values.nbytes)
+        self._metrics().inc(PS_PULLS)
+        self._metrics().inc(
+            PS_PULL_BYTES, nbytes + int(row_keys.nbytes)
+        )
+        return out
+
+    def push_rows_full(self, meta: MatrixMeta, row_keys: np.ndarray,
+                       deltas: np.ndarray) -> None:
+        """Increment full rows of a column-sharded matrix."""
+        self._write_slices(meta, row_keys, deltas, "push_slices")
+
+    def set_rows_full(self, meta: MatrixMeta, row_keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        """Overwrite full rows of a column-sharded matrix."""
+        self._write_slices(meta, row_keys, values, "set_slices")
+
+    def _write_slices(self, meta: MatrixMeta, row_keys: np.ndarray,
+                      values: np.ndarray, method: str) -> None:
+        row_keys = np.asarray(row_keys, dtype=np.int64)
+        values = np.asarray(values, dtype=meta.dtype)
+        calls: List[Call] = []
+        for pid in range(meta.num_partitions):
+            cols = meta.partitioner.keys_of_partition(pid)
+            sub = np.ascontiguousarray(values[:, cols])
+            calls.append((
+                meta.server_of(pid), method,
+                (meta.name, pid, row_keys, sub),
+                int(row_keys.nbytes + sub.nbytes),
+                0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(
+            PS_PUSH_BYTES, int(row_keys.nbytes + values.nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    # neighbor tables
+    # ------------------------------------------------------------------
+
+    def push_neighbors(self, meta: MatrixMeta, vertices: np.ndarray,
+                       tables: List[np.ndarray]) -> None:
+        """Merge per-vertex neighbor arrays into the PS tables."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pids = meta.partitioner.partition_array(vertices)
+        calls: List[Call] = []
+        total = 0
+        for pid in np.unique(pids):
+            mask = pids == pid
+            sub_v = vertices[mask]
+            sub_t = [tables[i] for i in np.flatnonzero(mask)]
+            nbytes = int(sub_v.nbytes + sum(t.nbytes for t in sub_t))
+            total += nbytes
+            calls.append((
+                meta.server_of(int(pid)), "push_neighbors",
+                (meta.name, int(pid), sub_v, sub_t),
+                nbytes, 0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(PS_PUSH_BYTES, total)
+
+    def get_neighbors(self, meta: MatrixMeta,
+                      vertices: np.ndarray) -> List[np.ndarray]:
+        """Neighbor arrays for ``vertices``, aligned with the input order."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pids = meta.partitioner.partition_array(vertices)
+        out: List[np.ndarray | None] = [None] * len(vertices)
+        calls: List[Call] = []
+        index_sets = []
+        for pid in np.unique(pids):
+            idx = np.flatnonzero(pids == pid)
+            sub_v = vertices[idx]
+            index_sets.append(idx)
+            calls.append((
+                meta.server_of(int(pid)), "get_neighbors",
+                (meta.name, int(pid), sub_v),
+                int(sub_v.nbytes),
+                lambda ts: int(sum(t.nbytes for t in ts)),
+            ))
+        results = self._group_call(calls)
+        nbytes = int(vertices.nbytes)
+        for idx, tables in zip(index_sets, results):
+            for i, t in zip(idx.tolist(), tables):
+                out[i] = t
+            nbytes += int(sum(t.nbytes for t in tables))
+        self._metrics().inc(PS_PULLS)
+        self._metrics().inc(PS_PULL_BYTES, nbytes)
+        return out  # type: ignore[return-value]
+
+    def degrees(self, meta: MatrixMeta, vertices: np.ndarray) -> np.ndarray:
+        """Neighbor counts for ``vertices``."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pids = meta.partitioner.partition_array(vertices)
+        out = np.zeros(len(vertices), dtype=np.int64)
+        calls: List[Call] = []
+        index_sets = []
+        for pid in np.unique(pids):
+            idx = np.flatnonzero(pids == pid)
+            sub_v = vertices[idx]
+            index_sets.append(idx)
+            calls.append((
+                meta.server_of(int(pid)), "degrees",
+                (meta.name, int(pid), sub_v),
+                int(sub_v.nbytes),
+                lambda d: int(d.nbytes),
+            ))
+        for idx, degs in zip(index_sets, self._group_call(calls)):
+            out[idx] = degs
+        self._metrics().inc(PS_PULLS)
+        return out
+
+    def compact(self, meta: MatrixMeta) -> None:
+        """Freeze all neighbor-table partitions into CSR form."""
+        self._group_call([
+            (meta.server_of(pid), "compact", (meta.name, pid), 16, 0)
+            for pid in range(meta.num_partitions)
+        ])
+
+    def table_total(self, meta: MatrixMeta) -> int:
+        """Total vertices stored across all neighbor-table partitions."""
+        sizes = self._group_call([
+            (meta.server_of(pid), "table_size", (meta.name, pid), 16, 8)
+            for pid in range(meta.num_partitions)
+        ])
+        return int(sum(sizes))
+
+    # ------------------------------------------------------------------
+    # psFunc & gradients
+    # ------------------------------------------------------------------
+
+    def psfunc(self, meta: MatrixMeta, func: PsFunc) -> Any:
+        """Run ``func`` on every partition and merge the partials."""
+        req = sizeof(func)
+        partials = self._group_call([
+            (
+                meta.server_of(pid), "run_psfunc",
+                (meta.name, pid, func),
+                req,
+                lambda r: sizeof(r),
+            )
+            for pid in range(meta.num_partitions)
+        ])
+        self._metrics().inc(PS_PSFUNC_CALLS)
+        return func.merge(partials)
+
+    def apply_gradients(self, meta: MatrixMeta, grad: np.ndarray) -> None:
+        """Ship a full-shape gradient; each server updates its partition
+        with the matrix's server-side optimizer."""
+        grad = np.asarray(grad, dtype=meta.dtype)
+        calls: List[Call] = []
+        for pid in range(meta.num_partitions):
+            keys = meta.partitioner.keys_of_partition(pid)
+            if meta.axis == 1:
+                sub = np.ascontiguousarray(grad[:, keys])
+            else:
+                sub = np.ascontiguousarray(grad[keys])
+            calls.append((
+                meta.server_of(pid), "apply_gradients",
+                (meta.name, pid, sub),
+                int(sub.nbytes), 0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(PS_PUSH_BYTES, int(grad.nbytes))

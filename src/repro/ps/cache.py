@@ -1,0 +1,97 @@
+"""Agent-side pull cache with bounded staleness.
+
+Angel's PS agents cache pulled model partitions so that repeated reads of
+slow-changing values (out-degrees, converged ranks, frozen neighbor tables)
+skip the network.  The cache is epoch-scoped: entries are valid for
+``staleness`` sync epochs after the pull, then expire — under BSP with
+``staleness=0`` every barrier invalidates everything, recovering exact
+semantics; larger staleness trades freshness for traffic, the same dial as
+SSP-style training.
+
+Opt-in per matrix via ``PSContext.enable_pull_cache(name, staleness=...)``;
+writes through the same agent invalidate the writer's cached rows so a
+worker always sees its own updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cached matrix."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of key lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class PullCache:
+    """Per-matrix key -> (value, epoch) cache.
+
+    Args:
+        staleness: entries pulled at epoch ``e`` are served until epoch
+            ``e + staleness`` (inclusive).
+    """
+
+    staleness: int = 0
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: Dict[Tuple[int, Optional[int]], Tuple[np.ndarray, int]] = (
+        field(default_factory=dict)
+    )
+
+    def lookup(self, keys: np.ndarray, col: Optional[int],
+               epoch: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``keys`` into (hit_mask, values_for_hits).
+
+        Returns:
+            ``(mask, values)``: ``mask[i]`` True when ``keys[i]`` was served
+            from cache; ``values`` is aligned with ``keys`` (undefined rows
+            where the mask is False).
+        """
+        mask = np.zeros(len(keys), dtype=bool)
+        values: list = [None] * len(keys)
+        for i, k in enumerate(keys.tolist()):
+            entry = self._entries.get((int(k), col))
+            if entry is None:
+                self.stats.misses += 1
+                continue
+            value, pulled_at = entry
+            if epoch - pulled_at > self.staleness:
+                del self._entries[(int(k), col)]
+                self.stats.misses += 1
+                continue
+            mask[i] = True
+            values[i] = value
+            self.stats.hits += 1
+        return mask, values
+
+    def store(self, keys: np.ndarray, col: Optional[int],
+              values: np.ndarray, epoch: int) -> None:
+        """Cache freshly pulled rows."""
+        for k, v in zip(keys.tolist(), values):
+            self._entries[(int(k), col)] = (np.copy(v), epoch)
+
+    def invalidate(self, keys: np.ndarray) -> None:
+        """Drop cached rows for written keys (all columns)."""
+        key_set = set(keys.tolist())
+        doomed = [kc for kc in self._entries if kc[0] in key_set]
+        for kc in doomed:
+            del self._entries[kc]
+
+    def clear(self) -> None:
+        """Drop everything (e.g. after a strict recovery rollback)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,333 @@
+"""PSContext — the driver-side entry point of the parameter server.
+
+"PSGraph creates a context called PSContext to store the configurations of
+PS, such as the locations of parameter servers and the partition layout
+(mapping of data partitions to servers)" (Sec. III-C).
+
+The context launches server containers through the resource manager,
+registers them on the RPC fabric, owns the agent, the sync controller and
+the master, and is the factory for PS-resident models (matrices, vectors,
+column-sharded embeddings, neighbor tables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.errors import ConfigError, MatrixNotFoundError
+from repro.common.metrics import PS_CHECKPOINT_BYTES, PS_CHECKPOINTS
+from repro.dataflow.context import SparkContext
+from repro.ps.agent import PSAgent
+from repro.ps.master import PSMaster
+from repro.ps.matrix import PSEmbedding, PSMatrix, PSNeighborTable, PSVector
+from repro.ps.meta import STORAGE_KINDS, MatrixMeta
+from repro.ps.optimizer import Optimizer
+from repro.ps.partitioner import make_ps_partitioner
+from repro.ps.server import PSServer
+from repro.ps.sync import SyncController
+
+
+class PSContext:
+    """One parameter-server deployment attached to a SparkContext.
+
+    Args:
+        spark: the owning SparkContext (provides Yarn, RPC, HDFS, metrics).
+        num_servers: server containers to launch; defaults to the cluster
+            config's ``num_servers``.
+        server_mem_bytes: per-server grant; defaults to the cluster config.
+        partitions_per_server: model partitions per server (spreads load).
+        checkpoint_dir: HDFS directory for partition checkpoints.
+        checkpoint_interval: when > 0, every Nth :meth:`barrier` call
+            checkpoints every registered model to HDFS — the paper's
+            "each parameter server periodically stores the local data
+            partition to HDFS" (Sec. III-A).  0 leaves checkpointing to
+            explicit calls.
+        sync_mode: "bsp" (default) or "asp".
+    """
+
+    def __init__(self, spark: SparkContext, *,
+                 num_servers: int | None = None,
+                 server_mem_bytes: int | None = None,
+                 partitions_per_server: int = 2,
+                 checkpoint_dir: str = "/ps-checkpoints",
+                 checkpoint_interval: int = 0,
+                 sync_mode: str = "bsp") -> None:
+        cluster = spark.cluster
+        num_servers = num_servers or cluster.num_servers
+        server_mem_bytes = server_mem_bytes or cluster.server_mem_bytes
+        if num_servers <= 0:
+            raise ConfigError(
+                "PSContext needs at least one server (set num_servers or "
+                "ClusterConfig.num_servers)"
+            )
+        if server_mem_bytes <= 0:
+            raise ConfigError("server_mem_bytes must be positive")
+        self.spark = spark
+        self.partitions_per_server = partitions_per_server
+        self.checkpoint_dir = checkpoint_dir.rstrip("/")
+        self.checkpoint_interval = checkpoint_interval
+        containers = spark.resource_manager.request_many(
+            "ps-server", num_servers, server_mem_bytes
+        )
+        self.servers: List[PSServer] = [
+            PSServer(i, c, cluster.cost_model, spark.hdfs)
+            for i, c in enumerate(containers)
+        ]
+        for server in self.servers:
+            spark.rpc.register(server.id, server)
+        self.agent = PSAgent(self)
+        self.sync = SyncController(self, sync_mode)
+        self.master = PSMaster(self)
+        self._metas: Dict[str, MatrixMeta] = {}
+        self._handles: Dict[str, object] = {}
+        self._pull_caches: Dict[str, object] = {}
+        self._stopped = False
+        #: When True (default), a failed RPC triggers master recovery and
+        #: one retry instead of failing the caller (Sec. III-B).
+        self.auto_recover = True
+        #: Recovery consistency mode used by auto-recovery: "relaxed" for
+        #: GE/GNN-style tolerance, "strict" for PageRank-style rollback.
+        self.recovery_mode = "relaxed"
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Number of PS server containers."""
+        return len(self.servers)
+
+    def server_endpoint(self, index: int) -> str:
+        """RPC endpoint name of server ``index``."""
+        return self.servers[index].id
+
+    def matrix_names(self) -> List[str]:
+        """Names of every registered model."""
+        return sorted(self._metas)
+
+    def matrix_meta(self, name: str) -> MatrixMeta:
+        """Metadata of one model."""
+        meta = self._metas.get(name)
+        if meta is None:
+            raise MatrixNotFoundError(name)
+        return meta
+
+    # ------------------------------------------------------------------
+    # model factories
+    # ------------------------------------------------------------------
+
+    def _register(self, meta: MatrixMeta, handle: object) -> None:
+        if meta.name in self._metas:
+            raise ConfigError(f"matrix {meta.name!r} already exists")
+        self._metas[meta.name] = meta
+        self._handles[meta.name] = handle
+        for pid in range(meta.num_partitions):
+            self.servers[meta.server_of(pid)].create_partition(meta, pid)
+
+    def _default_partitions(self, size: int) -> int:
+        return max(1, min(size, self.num_servers * self.partitions_per_server))
+
+    def create_matrix(self, name: str, rows: int, cols: int = 1,
+                      dtype: np.dtype = np.float64, *,
+                      partition: str = "range", axis: int = 0,
+                      storage: str = "dense", init: float = 0.0,
+                      optimizer: Optimizer | None = None,
+                      num_partitions: int | None = None) -> PSMatrix:
+        """Create a row-partitioned matrix on the PS (Listing 1's
+        ``PSContext.matrix(row, col, DataType)``)."""
+        if storage not in STORAGE_KINDS:
+            raise ConfigError(f"unknown storage {storage!r}")
+        if axis not in (0, 1):
+            raise ConfigError("axis must be 0 or 1")
+        key_space = rows if axis == 0 else cols
+        partitioner = make_ps_partitioner(
+            partition, key_space,
+            num_partitions or self._default_partitions(key_space),
+        )
+        meta = MatrixMeta(
+            name=name, rows=rows, cols=cols, dtype=np.dtype(dtype),
+            axis=axis, storage=storage, partitioner=partitioner, init=init,
+            optimizer=optimizer, num_servers=self.num_servers,
+        )
+        handle: PSMatrix
+        if axis == 1:
+            handle = PSEmbedding(self, meta)
+        elif cols == 1:
+            handle = PSVector(self, meta)
+        else:
+            handle = PSMatrix(self, meta)
+        self._register(meta, handle)
+        return handle
+
+    def create_vector(self, name: str, size: int,
+                      dtype: np.dtype = np.float64, *,
+                      partition: str = "range", init: float = 0.0,
+                      num_partitions: int | None = None) -> PSVector:
+        """Create a PS vector (1-column dense matrix)."""
+        return self.create_matrix(
+            name, size, 1, dtype, partition=partition, init=init,
+            num_partitions=num_partitions,
+        )
+
+    def create_embedding(self, name: str, rows: int, dim: int,
+                         dtype: np.dtype = np.float32, *,
+                         optimizer: Optimizer | None = None,
+                         num_partitions: int | None = None) -> PSEmbedding:
+        """Create a column-sharded embedding matrix (the LINE layout of
+        Sec. IV-D: same dimensions of all vectors co-located per server)."""
+        return self.create_matrix(
+            name, rows, dim, dtype, partition="range", axis=1,
+            storage="column", optimizer=optimizer,
+            num_partitions=num_partitions
+            or max(1, min(dim, self.num_servers)),
+        )
+
+    def create_neighbor_table(self, name: str, num_vertices: int, *,
+                              partition: str = "hash",
+                              num_partitions: int | None = None
+                              ) -> PSNeighborTable:
+        """Create a PS-resident neighbor table keyed by vertex id."""
+        partitioner = make_ps_partitioner(
+            partition, num_vertices,
+            num_partitions or self._default_partitions(num_vertices),
+        )
+        meta = MatrixMeta(
+            name=name, rows=num_vertices, cols=1, dtype=np.dtype(np.int64),
+            axis=0, storage="neighbor", partitioner=partitioner,
+            num_servers=self.num_servers,
+        )
+        handle = PSNeighborTable(self, meta)
+        self._register(meta, handle)
+        return handle
+
+    def describe(self) -> str:
+        """Human-readable layout report: every model, its shape, storage,
+        partitioning and per-server memory (the PSContext "partition
+        layout" the paper says agents consult)."""
+        lines = [
+            f"PSContext: {self.num_servers} servers, "
+            f"{len(self._metas)} models"
+        ]
+        for name in self.matrix_names():
+            meta = self._metas[name]
+            lines.append(
+                f"  {name}: {meta.rows}x{meta.cols} {meta.dtype} "
+                f"storage={meta.storage} axis={meta.axis} "
+                f"partitions={meta.num_partitions} "
+                f"({type(meta.partitioner).__name__})"
+            )
+        for server in self.servers:
+            mem = server.container.memory
+            state = "alive" if server.container.alive else "DEAD"
+            lines.append(
+                f"  {server.id}: {state}, "
+                f"{mem.used:,} / {mem.capacity:,} B used, "
+                f"{len(server.held_partitions())} partitions"
+            )
+        return "\n".join(lines)
+
+    def matrix(self, name: str) -> object:
+        """Look up an existing model handle by name."""
+        handle = self._handles.get(name)
+        if handle is None:
+            raise MatrixNotFoundError(name)
+        return handle
+
+    def enable_pull_cache(self, name: str, staleness: int = 0):
+        """Turn on agent-side pull caching for one matrix.
+
+        Entries are served for ``staleness`` sync epochs after the pull
+        (0 = valid only within the current epoch; every barrier expires
+        them).  Returns the :class:`repro.ps.cache.PullCache` so callers
+        can read its hit statistics.
+        """
+        from repro.ps.cache import PullCache
+
+        self.matrix_meta(name)  # raises on unknown matrix
+        cache = PullCache(staleness=staleness)
+        self._pull_caches[name] = cache
+        return cache
+
+    def pull_cache(self, name: str):
+        """The matrix's pull cache, or ``None`` when caching is off."""
+        return self._pull_caches.get(name)
+
+    def clear_pull_caches(self) -> None:
+        """Drop every agent-side cache (after recovery rollbacks)."""
+        for cache in self._pull_caches.values():
+            cache.clear()
+
+    def drop_matrix(self, name: str) -> None:
+        """Remove a model from every server."""
+        meta = self.matrix_meta(name)
+        for pid in range(meta.num_partitions):
+            server = self.servers[meta.server_of(pid)]
+            if server.container.alive:
+                server.drop_matrix(name)
+        del self._metas[name]
+        del self._handles[name]
+        self._pull_caches.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # checkpointing & recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint_path(self, name: str, pid: int) -> str:
+        """HDFS path of one partition's checkpoint."""
+        return f"{self.checkpoint_dir}/{name}/part-{pid:05d}"
+
+    def checkpoint_matrix(self, name: str) -> int:
+        """Snapshot every partition of one model to HDFS; bytes written."""
+        meta = self.matrix_meta(name)
+        total = 0
+        for pid in range(meta.num_partitions):
+            server = self.servers[meta.server_of(pid)]
+            total += server.checkpoint(
+                name, pid, self.checkpoint_path(name, pid)
+            )
+        self.spark.metrics.inc(PS_CHECKPOINTS)
+        self.spark.metrics.inc(PS_CHECKPOINT_BYTES, total)
+        return total
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every registered model; total bytes written."""
+        return sum(self.checkpoint_matrix(n) for n in self.matrix_names())
+
+    def kill_server(self, index: int) -> None:
+        """Failure injection: kill one PS server (Table II)."""
+        server = self.servers[index]
+        self.spark.resource_manager.kill(server.container)
+        server.wipe()
+        self.spark.rpc.kill(server.id)
+
+    def recover(self, mode: str = "relaxed") -> List[int]:
+        """Detect and recover dead servers (see :class:`PSMaster`)."""
+        return self.master.recover(mode)
+
+    # ------------------------------------------------------------------
+    # iteration control
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> float:
+        """End-of-iteration barrier (BSP) or epoch tick (ASP).
+
+        With ``checkpoint_interval > 0``, every Nth barrier also writes the
+        periodic HDFS checkpoint of every registered model.
+        """
+        t = self.sync.barrier()
+        if (self.checkpoint_interval > 0
+                and self.sync.epoch % self.checkpoint_interval == 0):
+            self.checkpoint_all()
+        return t
+
+    def stop(self) -> None:
+        """Release server containers and unregister endpoints."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for server in self.servers:
+            self.spark.rpc.unregister(server.id)
+            self.spark.resource_manager.release(server.container)

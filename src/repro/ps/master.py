@@ -1,0 +1,110 @@
+"""PS master: health checking and failure recovery.
+
+Sec. III-B: "the master monitors the status of servers by periodical sending
+health checking signal.  Once one server encounters failure, the master asks
+the resource management platform to restart the server.  If the algorithm
+can bear inconsistency between model partitions, such as GE and GNN, the
+newly launched server pulls the checkpoint partition from HDFS and continues
+training.  Otherwise, the master asks all the servers to restore the
+checkpoint partitions from HDFS, such that model consistency is ensured for
+algorithms such as PageRank."
+
+Recovery modes therefore come in two flavours:
+
+* ``relaxed`` — only the failed server reloads its checkpoints;
+* ``strict`` — every server rolls back to the last checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.common.errors import CheckpointNotFoundError, RpcError
+from repro.common.simclock import barrier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ps.context import PSContext
+
+#: Recovery modes (see module docstring).
+RECOVERY_MODES = ("relaxed", "strict")
+
+
+class PSMaster:
+    """Monitors servers and orchestrates recovery."""
+
+    def __init__(self, psctx: "PSContext",
+                 health_check_cost_s: float = 5e-5) -> None:
+        self.psctx = psctx
+        self.health_check_cost_s = health_check_cost_s
+        self.recoveries = 0
+
+    def health_check(self) -> List[int]:
+        """Ping every server; returns indices of dead ones."""
+        dead: List[int] = []
+        rpc = self.psctx.spark.rpc
+        for server in self.psctx.servers:
+            self.psctx.spark.driver_clock.advance(self.health_check_cost_s)
+            try:
+                if not rpc.is_alive(server.id):
+                    dead.append(server.index)
+                    continue
+                rpc.call(server.id, "ping", request_bytes=8, response_bytes=8)
+            except RpcError:
+                dead.append(server.index)
+        return dead
+
+    def recover(self, mode: str = "relaxed") -> List[int]:
+        """Detect dead servers, restart them, and reload model state.
+
+        Args:
+            mode: ``relaxed`` reloads only the failed servers' partitions
+                from their checkpoints; ``strict`` rolls *every* partition
+                of every matrix back to the last checkpoint (model
+                consistency for algorithms like PageRank).
+
+        Returns:
+            Indices of the servers that were recovered.
+
+        Raises:
+            CheckpointNotFoundError: a needed partition was never
+                checkpointed.
+        """
+        if mode not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {mode!r}; choose from "
+                f"{RECOVERY_MODES}"
+            )
+        psctx = self.psctx
+        dead = self.health_check()
+        if not dead:
+            return []
+        for index in dead:
+            server = psctx.servers[index]
+            psctx.spark.resource_manager.restart(server.container)
+            server.wipe()
+            psctx.spark.rpc.revive(server.id, server)
+        restore_all = mode == "strict"
+        for name in psctx.matrix_names():
+            meta = psctx.matrix_meta(name)
+            for pid in range(meta.num_partitions):
+                sidx = meta.server_of(pid)
+                if not restore_all and sidx not in dead:
+                    continue
+                path = psctx.checkpoint_path(name, pid)
+                if not psctx.spark.hdfs.exists(path):
+                    raise CheckpointNotFoundError(
+                        f"no checkpoint for {name}[{pid}] at {path}"
+                    )
+                psctx.servers[sidx].restore_partition(meta, pid, path)
+        self.recoveries += len(dead)
+        # Cached pulls may predate the rollback; drop them.
+        psctx.clear_pull_caches()
+        # Everyone waited for recovery (the paper: other executors are
+        # "blocked by the synchronization controller of PS").
+        barrier(
+            [psctx.spark.driver_clock]
+            + [ex.container.clock for ex in psctx.spark.executors if ex.alive]
+            + [s.container.clock for s in psctx.servers
+               if s.container.alive]
+        )
+        return dead

@@ -1,0 +1,60 @@
+"""Matrix metadata shared by PS context, agents and servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ps.partitioner import PSPartitioner
+
+#: Storage kinds accepted by :meth:`repro.ps.context.PSContext.create_matrix`.
+STORAGE_KINDS = ("dense", "sparse", "column", "neighbor")
+
+
+@dataclass
+class MatrixMeta:
+    """Static description of one PS matrix.
+
+    Attributes:
+        name: unique matrix name within the PSContext.
+        rows: number of rows (vertices for graph models).
+        cols: row width (1 for vectors; embedding dim for LINE).
+        dtype: element dtype.
+        axis: 0 = partition by row key (default), 1 = partition by column
+            (LINE embeddings, GNN weights — enables server-side dots).
+        storage: one of ``dense``, ``sparse``, ``column``, ``neighbor``.
+        partitioner: maps keys (rows for axis=0, cols for axis=1) to
+            partitions; partition ``p`` lives on server ``p mod S``.
+        init: initial fill value for dense storage.
+        optimizer: optional server-side optimizer spec (see
+            :mod:`repro.ps.optimizer`); enables ``push_gradients``.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    dtype: np.dtype
+    axis: int
+    storage: str
+    partitioner: PSPartitioner
+    init: float = 0.0
+    optimizer: Optional[object] = None
+    num_servers: int = field(default=1)
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of model partitions."""
+        return self.partitioner.num_partitions
+
+    def server_of(self, pid: int) -> int:
+        """Index of the server holding partition ``pid``.
+
+        Mixed (not plain modulo) so partition schemes that are themselves
+        modular do not alias whole key ranges onto one server.  The
+        multiplier is prime, so ``pid -> server`` stays a bijection over
+        any ``num_servers`` consecutive partition ids — matching the real
+        system's balanced partition-to-server assignment.
+        """
+        return (pid * 2654435761) % self.num_servers

@@ -1,0 +1,202 @@
+"""psFunc — user-defined functions executed on the parameter servers.
+
+"users can customize their operators via a user-defined function, called
+psFunc" (Sec. III-A).  A psFunc runs once per model partition *on the server
+holding it*, sees the raw store, and returns a partial result; the agent
+merges the partials.  Moving computation to the data is what makes the
+paper's LINE implementation cheap (partial dot products, Sec. IV-D) and is
+how the server-side Adam/AdaGrad optimizers are built (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from repro.ps.storage import ColumnShardStore, DenseRowStore
+
+
+class PsFunc:
+    """Base class for server-side UDFs.
+
+    Subclasses implement :meth:`apply` (runs on each server, once per
+    partition of the target matrix) and :meth:`merge` (runs on the caller,
+    folding partials into the final result).  ``flops`` lets the simulation
+    charge server compute time.
+    """
+
+    def apply(self, store: Any) -> Any:
+        """Run on one partition's store; returns a partial result."""
+        raise NotImplementedError
+
+    def merge(self, partials: List[Any]) -> Any:
+        """Fold partials into the final result (default: first non-None)."""
+        for p in partials:
+            if p is not None:
+                return p
+        return None
+
+    def flops(self, store: Any) -> float:
+        """Estimated floating point operations of one apply (for costing)."""
+        nbytes = getattr(store, "nbytes", 0)
+        return nbytes / 8.0
+
+
+class VectorSum(PsFunc):
+    """Sum of one column over the whole matrix."""
+
+    def __init__(self, col: int = 0) -> None:
+        self.col = col
+
+    def apply(self, store: DenseRowStore) -> float:
+        return float(store.array[:, self.col].sum())
+
+    def merge(self, partials: List[float]) -> float:
+        return float(sum(p for p in partials if p is not None))
+
+
+class CountNonZero(PsFunc):
+    """Number of entries of one column with ``|x| > tol``."""
+
+    def __init__(self, col: int = 0, tol: float = 0.0) -> None:
+        self.col = col
+        self.tol = tol
+
+    def apply(self, store: DenseRowStore) -> int:
+        return int((np.abs(store.array[:, self.col]) > self.tol).sum())
+
+    def merge(self, partials: List[int]) -> int:
+        return int(sum(p for p in partials if p is not None))
+
+
+class MaxAbs(PsFunc):
+    """Maximum absolute value of one column."""
+
+    def __init__(self, col: int = 0) -> None:
+        self.col = col
+
+    def apply(self, store: DenseRowStore) -> float:
+        if store.array.shape[0] == 0:
+            return 0.0
+        return float(np.abs(store.array[:, self.col]).max())
+
+    def merge(self, partials: List[float]) -> float:
+        vals = [p for p in partials if p is not None]
+        return max(vals) if vals else 0.0
+
+
+class Scale(PsFunc):
+    """Multiply one column (or all columns) in place by a constant."""
+
+    def __init__(self, factor: float, col: int | None = None) -> None:
+        self.factor = factor
+        self.col = col
+
+    def apply(self, store: DenseRowStore) -> None:
+        if self.col is None:
+            store.array *= self.factor
+        else:
+            store.array[:, self.col] *= self.factor
+
+
+class Fill(PsFunc):
+    """Set one column (or all columns) to a constant."""
+
+    def __init__(self, value: float, col: int | None = None) -> None:
+        self.value = value
+        self.col = col
+
+    def apply(self, store: DenseRowStore) -> None:
+        if self.col is None:
+            store.array[:] = self.value
+        else:
+            store.array[:, self.col] = self.value
+
+
+class AddColumn(PsFunc):
+    """``array[:, dst] += scale * array[:, src]`` in place."""
+
+    def __init__(self, src: int, dst: int, scale: float = 1.0) -> None:
+        self.src = src
+        self.dst = dst
+        self.scale = scale
+
+    def apply(self, store: DenseRowStore) -> None:
+        store.array[:, self.dst] += self.scale * store.array[:, self.src]
+
+
+class RandomInit(PsFunc):
+    """Fill a store with uniform noise in ``[-scale, scale)``.
+
+    Each partition derives its stream from ``seed`` and its first key so the
+    global initialization is deterministic regardless of server layout.
+    """
+
+    def __init__(self, seed: int, scale: float = 0.1) -> None:
+        self.seed = seed
+        self.scale = scale
+
+    def apply(self, store: Any) -> None:
+        if isinstance(store, ColumnShardStore):
+            salt = int(store.col_keys[0]) if len(store.col_keys) else 0
+            shape = store.array.shape
+            target = store.array
+        else:
+            salt = int(store.keys[0]) if len(store.keys) else 0
+            shape = store.array.shape
+            target = store.array
+        rng = np.random.default_rng(self.seed * 2654435761 % (2 ** 63) + salt)
+        target[:] = (rng.random(shape, dtype=np.float64) * 2 - 1) * self.scale
+
+
+class PartialDot(PsFunc):
+    """Per-pair partial dot products on a column-sharded matrix.
+
+    The building block of LINE-on-PS: each server computes
+    ``sum_c A[i, c] * A[j, c]`` over its local columns ``c``; the agent sums
+    the partials to obtain full dot products without moving embeddings.
+    """
+
+    def __init__(self, left: Sequence[int], right: Sequence[int]) -> None:
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+
+    def apply(self, store: ColumnShardStore) -> np.ndarray:
+        return store.partial_dot(self.left, self.right)
+
+    def merge(self, partials: List[np.ndarray]) -> np.ndarray:
+        valid = [p for p in partials if p is not None]
+        return np.sum(valid, axis=0)
+
+    def flops(self, store: ColumnShardStore) -> float:
+        return 2.0 * len(self.left) * store.array.shape[1]
+
+
+class RankOneUpdate(PsFunc):
+    """Symmetric rank-one SGD update on a column-sharded matrix.
+
+    For each pair ``(i, j)`` with coefficient ``g``::
+
+        A[i, :] += g * A[j, :]
+        A[j, :] += g * A[i_old, :]
+
+    Entirely local per column shard: only indices and coefficients cross the
+    network (the LINE update path of Sec. IV-D).
+    """
+
+    def __init__(self, left: Sequence[int], right: Sequence[int],
+                 coeffs: Sequence[float]) -> None:
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.coeffs = np.asarray(coeffs, dtype=np.float64)
+
+    def apply(self, store: ColumnShardStore) -> None:
+        arr = store.array
+        left_old = arr[self.left].copy()
+        g = self.coeffs[:, None].astype(arr.dtype)
+        np.add.at(arr, self.left, g * arr[self.right])
+        np.add.at(arr, self.right, g * left_old)
+
+    def flops(self, store: ColumnShardStore) -> float:
+        return 4.0 * len(self.left) * store.array.shape[1]

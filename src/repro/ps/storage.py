@@ -1,0 +1,326 @@
+"""Server-side storage structures of the parameter server.
+
+"PS supports different data structures, e.g., sparse/dense vector,
+sparse/dense matrix, CSR, vertex (with property), and neighbor table"
+(Sec. III-A).  Each class here backs the partitions of one PS matrix on one
+server:
+
+* :class:`DenseRowStore` — dense rows for the keys a partition owns
+  (vectors and row-partitioned matrices: PageRank state, K-core estimates,
+  GraphSage features).
+* :class:`SparseRowStore` — rows materialized on first touch (vertex
+  properties over a huge sparse id space).
+* :class:`ColumnShardStore` — a column slice of *all* rows (column-
+  partitioned embeddings for LINE, GNN weight matrices), enabling
+  server-side partial dot products.
+* :class:`NeighborTableStore` — adjacency arrays per vertex, with optional
+  CSR compaction for read-mostly phases (common neighbor, triangle count).
+
+Every store reports ``nbytes`` so the owning server can charge its memory
+grant, and supports ``snapshot``/``restore`` for HDFS checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.errors import PSError
+
+
+class Store:
+    """Interface shared by all server-side stores."""
+
+    @property
+    def nbytes(self) -> int:
+        """Logical bytes currently held."""
+        raise NotImplementedError
+
+    def snapshot(self) -> object:
+        """Picklable deep snapshot for checkpointing."""
+        raise NotImplementedError
+
+    def restore(self, state: object) -> None:
+        """Restore from a snapshot produced by :meth:`snapshot`."""
+        raise NotImplementedError
+
+
+class DenseRowStore(Store):
+    """Dense rows for an explicit, sorted set of keys.
+
+    Args:
+        keys: ascending global keys owned by this partition.
+        cols: row width (1 for vectors).
+        dtype: element type.
+        init: initial fill value.
+    """
+
+    def __init__(self, keys: np.ndarray, cols: int = 1,
+                 dtype: np.dtype = np.float64, init: float = 0.0) -> None:
+        self.keys = np.ascontiguousarray(keys, dtype=np.int64)
+        self.cols = cols
+        self.array = np.full((len(self.keys), cols), init, dtype=dtype)
+
+    def _locate(self, keys: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.keys, keys)
+        if (idx >= len(self.keys)).any() or (self.keys[idx] != keys).any():
+            missing = keys[(idx >= len(self.keys)) | (self.keys[np.minimum(idx, len(self.keys) - 1)] != keys)]
+            raise PSError(f"keys not in partition: {missing[:5]}...")
+        return idx
+
+    def get_rows(self, keys: np.ndarray,
+                 col: int | None = None) -> np.ndarray:
+        """Rows for ``keys``; a single column when ``col`` is given."""
+        idx = self._locate(keys)
+        if col is None:
+            return self.array[idx].copy()
+        return self.array[idx, col].copy()
+
+    def inc_rows(self, keys: np.ndarray, deltas: np.ndarray,
+                 col: int | None = None) -> None:
+        """Add ``deltas`` into the rows for ``keys`` (duplicates allowed)."""
+        idx = self._locate(keys)
+        if col is None:
+            np.add.at(self.array, idx, deltas)
+        else:
+            np.add.at(self.array[:, col], idx, deltas)
+
+    def set_rows(self, keys: np.ndarray, values: np.ndarray,
+                 col: int | None = None) -> None:
+        """Overwrite rows for ``keys``."""
+        idx = self._locate(keys)
+        if col is None:
+            self.array[idx] = values
+        else:
+            self.array[idx, col] = values
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes + self.keys.nbytes)
+
+    def snapshot(self) -> object:
+        return {"keys": self.keys.copy(), "array": self.array.copy()}
+
+    def restore(self, state: object) -> None:
+        self.keys = state["keys"].copy()
+        self.array = state["array"].copy()
+        self.cols = self.array.shape[1]
+
+
+class SparseRowStore(Store):
+    """Rows materialized on first write; reads of untouched rows are zero."""
+
+    def __init__(self, cols: int = 1, dtype: np.dtype = np.float64) -> None:
+        self.cols = cols
+        self.dtype = np.dtype(dtype)
+        self.rows: Dict[int, np.ndarray] = {}
+
+    def get_rows(self, keys: np.ndarray,
+                 col: int | None = None) -> np.ndarray:
+        out = np.zeros((len(keys), self.cols), dtype=self.dtype)
+        for i, k in enumerate(keys.tolist()):
+            row = self.rows.get(k)
+            if row is not None:
+                out[i] = row
+        if col is None:
+            return out
+        return out[:, col]
+
+    def inc_rows(self, keys: np.ndarray, deltas: np.ndarray,
+                 col: int | None = None) -> None:
+        deltas = np.atleast_1d(deltas)
+        for i, k in enumerate(keys.tolist()):
+            row = self.rows.get(k)
+            if row is None:
+                row = np.zeros(self.cols, dtype=self.dtype)
+                self.rows[k] = row
+            if col is None:
+                row += deltas[i]
+            else:
+                row[col] += deltas[i]
+
+    def set_rows(self, keys: np.ndarray, values: np.ndarray,
+                 col: int | None = None) -> None:
+        values = np.atleast_1d(values)
+        for i, k in enumerate(keys.tolist()):
+            row = self.rows.get(k)
+            if row is None:
+                row = np.zeros(self.cols, dtype=self.dtype)
+                self.rows[k] = row
+            if col is None:
+                row[:] = values[i]
+            else:
+                row[col] = values[i]
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.rows) * (8 + self.cols * self.dtype.itemsize)
+
+    def snapshot(self) -> object:
+        return {k: v.copy() for k, v in self.rows.items()}
+
+    def restore(self, state: object) -> None:
+        self.rows = {k: v.copy() for k, v in state.items()}
+
+
+class ColumnShardStore(Store):
+    """A column slice of every row (axis=1 partitioning).
+
+    The paper's LINE implementation "partitions the embedding vectors and
+    context vectors by column ... so that we can calculate partial dot
+    products on PS and merge them on the executor" (Sec. IV-D).  A shard
+    holds columns ``col_keys`` for all ``rows`` rows.
+    """
+
+    def __init__(self, rows: int, col_keys: np.ndarray,
+                 dtype: np.dtype = np.float32, init: float = 0.0) -> None:
+        self.rows = rows
+        self.col_keys = np.ascontiguousarray(col_keys, dtype=np.int64)
+        self.array = np.full((rows, len(self.col_keys)), init, dtype=dtype)
+
+    def get_row_slices(self, row_keys: np.ndarray) -> np.ndarray:
+        """The local column slice of the requested rows."""
+        return self.array[row_keys].copy()
+
+    def inc_row_slices(self, row_keys: np.ndarray,
+                       deltas: np.ndarray) -> None:
+        """Add into the local slice of the requested rows."""
+        np.add.at(self.array, row_keys, deltas)
+
+    def set_row_slices(self, row_keys: np.ndarray,
+                       values: np.ndarray) -> None:
+        """Overwrite the local slice of the requested rows."""
+        self.array[row_keys] = values
+
+    def partial_dot(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Partial dot products ``sum_c A[left, c] * A[right, c]`` per pair."""
+        return np.einsum(
+            "ij,ij->i", self.array[left], self.array[right]
+        ).astype(np.float64)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes + self.col_keys.nbytes)
+
+    def snapshot(self) -> object:
+        return {"col_keys": self.col_keys.copy(), "array": self.array.copy()}
+
+    def restore(self, state: object) -> None:
+        self.col_keys = state["col_keys"].copy()
+        self.array = state["array"].copy()
+        self.rows = self.array.shape[0]
+
+
+class NeighborTableStore(Store):
+    """Adjacency arrays keyed by vertex, with optional CSR compaction.
+
+    "If the algorithm needs to get the adjacent vertices of a vertex
+    frequently, the neighbor tables are stored on the PS" (Sec. III-A).
+    """
+
+    def __init__(self) -> None:
+        self.tables: Dict[int, np.ndarray] = {}
+        self._nbytes = 0
+        # CSR form, built by compact(): sorted vertex ids + indptr + indices.
+        self._csr_vertices: np.ndarray | None = None
+        self._csr_indptr: np.ndarray | None = None
+        self._csr_indices: np.ndarray | None = None
+
+    def append_neighbors(self, vertex: int, neighbors: np.ndarray) -> None:
+        """Merge ``neighbors`` into the table of ``vertex``."""
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        old = self.tables.get(vertex)
+        if old is None:
+            merged = np.unique(neighbors)
+        else:
+            merged = np.union1d(old, neighbors)
+            self._nbytes -= old.nbytes + 8
+        self.tables[vertex] = merged
+        self._nbytes += merged.nbytes + 8
+        self._csr_vertices = None  # invalidate compaction
+
+    def get_neighbors(self, vertices: np.ndarray) -> List[np.ndarray]:
+        """Sorted neighbor arrays for each requested vertex."""
+        if self._csr_vertices is not None:
+            out = []
+            idx = np.searchsorted(self._csr_vertices, vertices)
+            for i, v in zip(idx.tolist(), np.asarray(vertices).tolist()):
+                if (i < len(self._csr_vertices)
+                        and self._csr_vertices[i] == v):
+                    out.append(
+                        self._csr_indices[
+                            self._csr_indptr[i]:self._csr_indptr[i + 1]
+                        ]
+                    )
+                else:
+                    out.append(np.empty(0, dtype=np.int64))
+            return out
+        empty = np.empty(0, dtype=np.int64)
+        return [self.tables.get(int(v), empty) for v in vertices]
+
+    def degree(self, vertices: np.ndarray) -> np.ndarray:
+        """Neighbor counts per requested vertex."""
+        return np.asarray(
+            [len(n) for n in self.get_neighbors(vertices)], dtype=np.int64
+        )
+
+    def num_vertices(self) -> int:
+        """Number of vertices with a stored table."""
+        if self._csr_vertices is not None:
+            return len(self._csr_vertices)
+        return len(self.tables)
+
+    def compact(self) -> None:
+        """Freeze into CSR form (read-optimized; writes reopen dict form)."""
+        vertices = np.asarray(sorted(self.tables), dtype=np.int64)
+        indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+        chunks = []
+        for i, v in enumerate(vertices.tolist()):
+            t = self.tables[v]
+            indptr[i + 1] = indptr[i] + len(t)
+            chunks.append(t)
+        indices = (np.concatenate(chunks) if chunks
+                   else np.empty(0, dtype=np.int64))
+        self._csr_vertices = vertices
+        self._csr_indptr = indptr
+        self._csr_indices = indices
+        self._nbytes = int(
+            vertices.nbytes + indptr.nbytes + indices.nbytes
+        )
+        self.tables = {}
+
+    @property
+    def is_compacted(self) -> bool:
+        """True when the store is in CSR form."""
+        return self._csr_vertices is not None
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def snapshot(self) -> object:
+        if self._csr_vertices is not None:
+            return {
+                "csr": (
+                    self._csr_vertices.copy(),
+                    self._csr_indptr.copy(),
+                    self._csr_indices.copy(),
+                )
+            }
+        return {"tables": {k: v.copy() for k, v in self.tables.items()}}
+
+    def restore(self, state: object) -> None:
+        if "csr" in state:
+            self._csr_vertices, self._csr_indptr, self._csr_indices = (
+                a.copy() for a in state["csr"]
+            )
+            self.tables = {}
+            self._nbytes = int(
+                self._csr_vertices.nbytes + self._csr_indptr.nbytes
+                + self._csr_indices.nbytes
+            )
+        else:
+            self.tables = {k: v.copy() for k, v in state["tables"].items()}
+            self._csr_vertices = None
+            self._nbytes = sum(v.nbytes + 8 for v in self.tables.values())

@@ -1,0 +1,55 @@
+"""Synchronization controller (BSP / ASP).
+
+"PS has different synchronization protocols (BSP/ASP) to control the
+synchronization across workers" (Sec. III-A).  Under BSP every iteration
+ends at a barrier aligning the clocks of the driver, every live executor and
+every live server — the slowest participant sets the pace.  Under ASP the
+barrier is a no-op (workers proceed at their own speed); only the epoch
+counter advances.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.simclock import barrier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ps.context import PSContext
+
+#: Supported protocols.
+PROTOCOLS = ("bsp", "asp")
+
+
+class SyncController:
+    """Coordinates iteration boundaries between executors and servers."""
+
+    def __init__(self, psctx: "PSContext", mode: str = "bsp") -> None:
+        if mode not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown sync protocol {mode!r}; choose from {PROTOCOLS}"
+            )
+        self.psctx = psctx
+        self.mode = mode
+        self.epoch = 0
+
+    def barrier(self) -> float:
+        """End one iteration; under BSP, align all clocks to the max.
+
+        Returns:
+            The (driver) simulated time after the barrier.
+        """
+        self.epoch += 1
+        spark = self.psctx.spark
+        if self.mode == "bsp":
+            clocks = [spark.driver_clock]
+            clocks.extend(
+                ex.container.clock for ex in spark.executors if ex.alive
+            )
+            clocks.extend(
+                s.container.clock for s in self.psctx.servers
+                if s.container.alive
+            )
+            return barrier(clocks)
+        return spark.driver_clock.now_s

@@ -1,0 +1,89 @@
+"""Failure-injection utilities for tests, demos and experiments.
+
+Table II's methodology — "we manually kill an executor and a parameter
+server" mid-job — recurs across the test suite, the examples and the
+experiments; :class:`ChaosMonkey` packages it: declare *what* to kill after
+*how many* completed tasks, arm it on a context, and it fires exactly once
+per rule while the job runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal
+
+from repro.core.context import PSGraphContext
+
+#: What a rule kills.
+Target = Literal["executor", "server"]
+
+
+@dataclass
+class KillRule:
+    """Kill ``target`` number ``index`` after ``after_tasks`` result tasks."""
+
+    target: Target
+    index: int
+    after_tasks: int
+    fired: bool = False
+
+
+@dataclass
+class ChaosMonkey:
+    """Arms kill rules on a PSGraphContext's task-completion hook.
+
+    Usage::
+
+        monkey = ChaosMonkey(ctx)
+        monkey.kill_executor(2, after_tasks=5)
+        monkey.kill_server(1, after_tasks=10)
+        with monkey:                 # hook armed only inside the block
+            result.output.count()
+        assert monkey.fired == 2
+    """
+
+    ctx: PSGraphContext
+    rules: List[KillRule] = field(default_factory=list)
+    only_kind: str = "result"
+    _seen: int = 0
+    _armed: bool = False
+
+    def kill_executor(self, index: int, after_tasks: int) -> "ChaosMonkey":
+        """Schedule an executor kill; returns self for chaining."""
+        self.rules.append(KillRule("executor", index, after_tasks))
+        return self
+
+    def kill_server(self, index: int, after_tasks: int) -> "ChaosMonkey":
+        """Schedule a PS server kill; returns self for chaining."""
+        self.rules.append(KillRule("server", index, after_tasks))
+        return self
+
+    @property
+    def fired(self) -> int:
+        """How many rules have fired so far."""
+        return sum(1 for r in self.rules if r.fired)
+
+    def _hook(self, _stage: int, _partition: int, kind: str) -> None:
+        if self.only_kind and kind != self.only_kind:
+            return
+        self._seen += 1
+        for rule in self.rules:
+            if rule.fired or self._seen < rule.after_tasks:
+                continue
+            rule.fired = True
+            if rule.target == "executor":
+                self.ctx.spark.kill_executor(
+                    rule.index, reason="chaos-monkey"
+                )
+            else:
+                self.ctx.ps.kill_server(rule.index)
+
+    def __enter__(self) -> "ChaosMonkey":
+        self.ctx.spark.add_task_hook(self._hook)
+        self._armed = True
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._armed:
+            self.ctx.spark.remove_task_hook(self._hook)
+            self._armed = False

@@ -1,0 +1,51 @@
+"""torchlite: numpy autograd engine standing in for embedded PyTorch."""
+
+from repro.torchlite.functional import (
+    accuracy,
+    binary_cross_entropy_with_logits,
+    concat,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    normalize_rows,
+    segment_max,
+    segment_mean,
+    softmax,
+)
+from repro.torchlite.nn import (
+    Linear,
+    LSTMCell,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    xavier_uniform,
+)
+from repro.torchlite.optim import AdamOptimizer, LocalOptimizer, SGDOptimizer
+from repro.torchlite.script import ScriptModule
+from repro.torchlite.tensor import Tensor
+
+__all__ = [
+    "AdamOptimizer",
+    "LSTMCell",
+    "Linear",
+    "LocalOptimizer",
+    "Module",
+    "ReLU",
+    "ScriptModule",
+    "SGDOptimizer",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "accuracy",
+    "binary_cross_entropy_with_logits",
+    "concat",
+    "cross_entropy",
+    "dropout",
+    "log_softmax",
+    "normalize_rows",
+    "segment_max",
+    "segment_mean",
+    "softmax",
+    "xavier_uniform",
+]

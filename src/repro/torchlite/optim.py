@@ -1,0 +1,82 @@
+"""Local (in-process) optimizers for torchlite modules.
+
+Used by the Euler baseline and by unit tests; the PSGraph GraphSage path
+instead pushes gradients to the PS and lets the *server-side* optimizers of
+:mod:`repro.ps.optimizer` update the shared weights (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.torchlite.tensor import Tensor
+
+
+class LocalOptimizer:
+    """Base: step over a fixed parameter list."""
+
+    def __init__(self, params: List[Tensor]) -> None:
+        self.params = list(params)
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the stored gradients."""
+        raise NotImplementedError
+
+
+class SGDOptimizer(LocalOptimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: List[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class AdamOptimizer(LocalOptimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, params: List[Tensor], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1 - self.beta1 ** self._t
+        b2t = 1 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

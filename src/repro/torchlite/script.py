@@ -1,0 +1,58 @@
+"""ScriptModule — the serialized model blob shipped driver -> executors.
+
+Fig. 5 of the paper: "(1) the user writes PyTorch script and generates
+PyTorch model.  (2) Spark driver loads PyTorch model ...  (3) Every executor
+loads PyTorch model ...".  In PSGraph the blob crosses the JVM/C++ boundary
+via JNI; here it is a pickled (factory, kwargs, state_dict) triple, enough
+to reconstruct an identical module on any executor.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict
+
+from repro.torchlite.nn import Module
+
+
+class ScriptModule:
+    """A serializable recipe for a torchlite module.
+
+    Args:
+        factory: a top-level callable returning a fresh module.
+        kwargs: keyword arguments for the factory.
+        state: parameter arrays by dotted name (captured at save time).
+    """
+
+    def __init__(self, factory: Callable[..., Module],
+                 kwargs: Dict[str, Any],
+                 state: Dict[str, Any]) -> None:
+        self.factory = factory
+        self.kwargs = kwargs
+        self.state = state
+
+    @classmethod
+    def trace(cls, factory: Callable[..., Module],
+              **kwargs: Any) -> "ScriptModule":
+        """Build the blob from a factory, capturing its initial weights."""
+        module = factory(**kwargs)
+        return cls(factory, kwargs, module.state_dict())
+
+    def instantiate(self) -> Module:
+        """Reconstruct the module with the captured weights."""
+        module = self.factory(**self.kwargs)
+        module.load_state_dict(self.state)
+        return module
+
+    def to_bytes(self) -> bytes:
+        """Serialize for shipping across the simulated JNI boundary."""
+        return pickle.dumps(
+            (self.factory, self.kwargs, self.state),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ScriptModule":
+        """Deserialize a blob produced by :meth:`to_bytes`."""
+        factory, kwargs, state = pickle.loads(blob)
+        return cls(factory, kwargs, state)

@@ -1,0 +1,5 @@
+"""Simulated resource manager (Yarn/Kubernetes stand-in)."""
+
+from repro.yarn.resource_manager import Container, ResourceManager
+
+__all__ = ["Container", "ResourceManager"]

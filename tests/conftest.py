@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.dataflow.context import SparkContext
+
+
+def make_context(num_executors: int = 4, executor_mem: int | None = None,
+                 **kwargs) -> SparkContext:
+    """A small SparkContext for tests; unlimited memory unless given."""
+    cluster = ClusterConfig(
+        num_executors=num_executors,
+        executor_mem_bytes=executor_mem if executor_mem else 1 << 40,
+        **kwargs,
+    )
+    return SparkContext(cluster)
+
+
+@pytest.fixture
+def sc():
+    ctx = make_context()
+    yield ctx
+    ctx.stop()

@@ -1,0 +1,163 @@
+"""Tests for PSGraph blocks, GraphOps and GraphIO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ClusterConfig
+from repro.core.blocks import EdgeBlock, build_neighbor_block
+from repro.core.context import PSGraphContext
+from repro.core.graphio import GraphIO
+from repro.core.ops import (
+    count_edges,
+    edges_from_arrays,
+    load_edges,
+    max_vertex_id,
+    parse_edge_lines,
+    to_neighbor_tables,
+)
+from repro.datasets.tencent import write_edges
+
+
+def make_psg(num_executors=3, num_servers=2):
+    cluster = ClusterConfig(
+        num_executors=num_executors, executor_mem_bytes=1 << 40,
+        num_servers=num_servers, server_mem_bytes=1 << 40,
+    )
+    return PSGraphContext(cluster)
+
+
+@pytest.fixture
+def psg():
+    ctx = make_psg()
+    yield ctx
+    ctx.stop()
+
+
+class TestBlocks:
+    def test_edge_block_batches(self):
+        b = EdgeBlock(np.arange(10), np.arange(10) + 1)
+        batches = list(b.batches(4))
+        assert [x.num_edges for x in batches] == [4, 4, 2]
+
+    def test_edge_block_nbytes_includes_weight(self):
+        b1 = EdgeBlock(np.arange(4), np.arange(4))
+        b2 = EdgeBlock(np.arange(4), np.arange(4), np.ones(4))
+        assert b2.logical_nbytes == b1.logical_nbytes + 32
+
+    def test_build_neighbor_block_groups(self):
+        t = np.array([2, 1, 2, 1, 3])
+        o = np.array([5, 4, 6, 4, 7])
+        block = build_neighbor_block(t, o)
+        rows = dict((v, n.tolist()) for v, n in block.rows())
+        assert rows == {1: [4, 4], 2: [5, 6], 3: [7]}
+
+    def test_build_neighbor_block_dedupe(self):
+        t = np.array([1, 1, 1])
+        o = np.array([4, 4, 5])
+        block = build_neighbor_block(t, o, dedupe=True)
+        assert dict((v, n.tolist()) for v, n in block.rows()) == {1: [4, 5]}
+
+    def test_build_neighbor_block_empty(self):
+        block = build_neighbor_block(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert block.num_vertices == 0
+        assert block.num_edges == 0
+
+    def test_degrees(self):
+        block = build_neighbor_block(
+            np.array([1, 1, 2]), np.array([3, 4, 5])
+        )
+        assert block.degrees().tolist() == [2, 1]
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=50))
+    def test_neighbor_block_preserves_edges(self, pairs):
+        t = np.array([p[0] for p in pairs], dtype=np.int64)
+        o = np.array([p[1] for p in pairs], dtype=np.int64)
+        block = build_neighbor_block(t, o)
+        rebuilt = sorted(
+            (v, int(n)) for v, nbrs in block.rows() for n in nbrs
+        )
+        assert rebuilt == sorted(zip(t.tolist(), o.tolist()))
+
+
+class TestOps:
+    def test_parse_edge_lines(self):
+        block = parse_edge_lines(iter(["1\t2", "3\t4", "", "bad"]))
+        assert block.src.tolist() == [1, 3]
+        assert block.dst.tolist() == [2, 4]
+
+    def test_parse_weighted(self):
+        block = parse_edge_lines(iter(["1\t2\t0.5", "3\t4"]), weighted=True)
+        assert block.weight.tolist() == [0.5, 1.0]
+
+    def test_load_edges_roundtrip(self, psg):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 0])
+        write_edges(psg.hdfs, "/in/e", src, dst, num_files=2)
+        edges = load_edges(psg.spark, "/in/e")
+        assert count_edges(edges) == 4
+        assert max_vertex_id(edges) == 3
+
+    def test_edges_from_arrays(self, psg):
+        edges = edges_from_arrays(
+            psg.spark, np.array([5, 6]), np.array([6, 7])
+        )
+        assert count_edges(edges) == 2
+        assert max_vertex_id(edges) == 7
+
+    def test_to_neighbor_tables_directed(self, psg):
+        src = np.array([0, 0, 1, 2])
+        dst = np.array([1, 2, 2, 0])
+        edges = edges_from_arrays(psg.spark, src, dst, num_partitions=2)
+        tables = to_neighbor_tables(edges, num_partitions=2)
+        rows = {}
+        for part in tables.foreach_partition(
+                lambda it: [list(b.rows()) for b in it]):
+            for rowlist in part:
+                for v, nbrs in rowlist:
+                    rows[int(v)] = sorted(nbrs.tolist())
+        assert rows == {0: [1, 2], 1: [2], 2: [0]}
+
+    def test_to_neighbor_tables_symmetric_dedupe(self, psg):
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 0, 1])
+        edges = edges_from_arrays(psg.spark, src, dst)
+        tables = to_neighbor_tables(edges, symmetric=True, dedupe=True)
+        rows = {}
+        for part in tables.foreach_partition(
+                lambda it: [list(b.rows()) for b in it]):
+            for rowlist in part:
+                for v, nbrs in rowlist:
+                    rows[int(v)] = sorted(nbrs.tolist())
+        assert rows == {0: [1], 1: [0]}
+
+    def test_vertex_partitioning_owner(self, psg):
+        src = np.arange(20)
+        dst = (np.arange(20) + 1) % 20
+        edges = edges_from_arrays(psg.spark, src, dst, num_partitions=3)
+        tables = to_neighbor_tables(edges, num_partitions=4)
+        placements = tables.map_partitions_with_index(
+            lambda i, it: [(i, b.vertices) for b in it]
+        ).collect()
+        for pid, vertices in placements:
+            assert (vertices % 4 == pid).all()
+
+
+class TestGraphIO:
+    def test_save_and_load_vertex_values(self, psg):
+        ids = np.array([1, 5, 9])
+        vals = np.array([0.5, 1.5, 2.5])
+        GraphIO.save_vertex_values(psg, "/out/vals", ids, vals)
+        back = dict(GraphIO.load_vertex_values(psg, "/out/vals"))
+        assert back == {1: 0.5, 5: 1.5, 9: 2.5}
+
+    def test_save_dataframe(self, psg):
+        df = psg.create_dataframe([(1, 2.0), (3, 4.0)], ["v", "x"])
+        GraphIO.save(df, "/out/df")
+        lines = sorted(psg.spark.text_file("/out/df").collect())
+        assert lines == ["1\t2.0", "3\t4.0"]

@@ -1,0 +1,85 @@
+"""Tests for the Euler baseline simulation."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.core.algorithms.graphsage import make_sage
+from repro.datasets.generators import community_graph, vertex_features
+from repro.datasets.tencent import write_edges
+from repro.eulersim.euler import EulerSystem, _build_adjacency
+from repro.torchlite.script import ScriptModule
+
+
+def euler_system(num_workers=4):
+    cluster = ClusterConfig(
+        num_executors=num_workers, executor_mem_bytes=1 << 40
+    )
+    return EulerSystem(cluster)
+
+
+def small_task(n=120, classes=3, dim=8, seed=41):
+    src, dst, comm = community_graph(
+        n, classes, avg_degree=10, mixing=0.05, seed=seed
+    )
+    feats, labels = vertex_features(comm, dim, classes, noise=0.8,
+                                    seed=seed + 1)
+    return src, dst, feats, labels
+
+
+class TestAdjacency:
+    def test_build_adjacency_undirected_dedup(self):
+        adj = _build_adjacency(np.array([0, 1, 0]), np.array([1, 0, 2]))
+        assert adj[0].tolist() == [1, 2]
+        assert adj[1].tolist() == [0]
+        assert adj[2].tolist() == [0]
+
+
+class TestPreprocess:
+    def test_passes_are_sequential_and_timed(self):
+        sys = euler_system()
+        try:
+            src, dst, feats, labels = small_task()
+            write_edges(sys.hdfs, "/in/euler", src, dst, num_files=4)
+            stats = sys.preprocess("/in/euler", feats, labels)
+            assert stats["index_mapping_s"] > 0
+            assert stats["json_transform_s"] > 0
+            assert stats["total_s"] == pytest.approx(
+                stats["index_mapping_s"] + stats["json_transform_s"]
+                + stats["partition_s"]
+            )
+        finally:
+            sys.stop()
+
+    def test_training_requires_preprocess(self):
+        sys = euler_system()
+        try:
+            blob = ScriptModule.trace(
+                make_sage, in_dim=4, hidden=4, num_classes=2
+            )
+            with pytest.raises(RuntimeError):
+                sys.train_graphsage(blob)
+        finally:
+            sys.stop()
+
+
+class TestTraining:
+    def test_trains_to_reasonable_accuracy(self):
+        sys = euler_system()
+        try:
+            src, dst, feats, labels = small_task()
+            write_edges(sys.hdfs, "/in/euler", src, dst, num_files=2)
+            sys.preprocess("/in/euler", feats, labels)
+            blob = ScriptModule.trace(
+                make_sage, in_dim=feats.shape[1], hidden=16,
+                num_classes=int(labels.max()) + 1, seed=3,
+            )
+            stats = sys.train_graphsage(
+                blob, epochs=4, batch_size=64, lr=0.05
+            )
+            assert stats["epoch_losses"][-1] < stats["epoch_losses"][0]
+            assert stats["accuracy"] > 0.6
+            assert len(stats["epoch_sim_times"]) == 4
+            assert all(t > 0 for t in stats["epoch_sim_times"])
+        finally:
+            sys.stop()

@@ -1,0 +1,148 @@
+"""Tests for the experiment harness and (tiny-scale) experiment runs."""
+
+import pytest
+
+from repro.experiments.ablations import ablation_partitioners
+from repro.experiments.figure6 import PAPER_FIG6, run_figure6
+from repro.experiments.harness import (
+    ExperimentRow,
+    format_rows,
+    speedup,
+    timed_run,
+)
+from repro.experiments.report import ascii_bars, format_dicts
+from repro.experiments.table1 import run_table1
+
+
+class TestHarness:
+    def test_projection_hours(self):
+        r = ExperimentRow("x", "S", "D", "a", "ok", sim_seconds=3.6,
+                          scale=1e-3)
+        assert r.projected == pytest.approx(1.0)
+
+    def test_projection_seconds_unit(self):
+        r = ExperimentRow("x", "S", "D", "a", "ok", sim_seconds=0.002,
+                          scale=1e-3, unit="seconds")
+        assert r.projected == pytest.approx(2.0)
+
+    def test_oom_row_display(self):
+        r = ExperimentRow("x", "S", "D", "a", "OOM", sim_seconds=None,
+                          scale=1e-3)
+        assert r.projected is None
+        assert r.display_value() == "OOM"
+
+    def test_timed_run_captures_oom(self):
+        from repro.common.errors import SimulatedOOMError
+        from repro.common.memory import MemoryTracker
+
+        tracker = MemoryTracker("c", capacity=10)
+
+        def boom():
+            tracker.allocate(100)
+
+        status, sim, wall, result = timed_run(boom, lambda: 0.0)
+        assert status == "OOM"
+        assert sim is None
+        assert isinstance(result, SimulatedOOMError)
+
+    def test_timed_run_measures_sim_delta(self):
+        clock = {"t": 5.0}
+
+        def work():
+            clock["t"] += 2.5
+            return "done"
+
+        status, sim, _w, result = timed_run(work, lambda: clock["t"])
+        assert status == "ok"
+        assert sim == pytest.approx(2.5)
+        assert result == "done"
+
+    def test_speedup(self):
+        rows = [
+            ExperimentRow("x", "PSGraph", "D", "a", "ok", 1.0, 1.0),
+            ExperimentRow("x", "GraphX", "D", "a", "ok", 8.0, 1.0),
+        ]
+        assert speedup(rows, "D", "a") == pytest.approx(8.0)
+
+    def test_speedup_none_on_oom(self):
+        rows = [
+            ExperimentRow("x", "PSGraph", "D", "a", "ok", 1.0, 1.0),
+            ExperimentRow("x", "GraphX", "D", "a", "OOM", None, 1.0),
+        ]
+        assert speedup(rows, "D", "a") is None
+
+    def test_format_rows_contains_cells(self):
+        rows = [ExperimentRow("x", "S", "D", "algo", "ok", 1.0, 1.0,
+                              paper_value=2.0)]
+        text = format_rows(rows, "TITLE")
+        assert "TITLE" in text
+        assert "algo" in text
+        assert "2" in text
+
+    def test_ascii_bars(self):
+        rows = [
+            ExperimentRow("x", "A", "D", "a", "ok", 3600.0, 1.0),
+            ExperimentRow("x", "B", "D", "a", "OOM", None, 1.0),
+        ]
+        chart = ascii_bars(rows)
+        assert "#" in chart
+        assert "OOM" in chart
+
+    def test_format_dicts(self):
+        text = format_dicts([{"variant": "x", "v": 1.5}], "T")
+        assert "variant" in text and "1.5" in text
+
+
+class TestTinyExperiments:
+    """Each paper experiment runs end-to-end at a throwaway scale."""
+
+    def test_figure6_single_cell_tiny(self):
+        rows = run_figure6(
+            scale_ds1=5e-7, cells=[("PageRank", "DS1")],
+        )
+        assert {r.system for r in rows} == {"PSGraph", "GraphX"}
+        ps = [r for r in rows if r.system == "PSGraph"][0]
+        assert ps.status == "ok"
+        assert ps.paper_value == PAPER_FIG6[("PageRank", "DS1", "PSGraph")]
+        assert ps.projected is not None and ps.projected > 0
+
+    def test_figure6_psgraph_only_subset(self):
+        rows = run_figure6(
+            scale_ds1=5e-7, cells=[("KCore", "DS1")],
+            systems=("PSGraph",),
+        )
+        assert len(rows) == 1
+        assert rows[0].status == "ok"
+        assert rows[0].extra.get("iterations", 0) >= 1
+
+    def test_table1_tiny_scale(self):
+        rows = run_table1(scale=3e-5)
+        systems = {r.system for r in rows}
+        assert systems == {"PSGraph", "Euler"}
+        prep = {r.system: r for r in rows
+                if r.algorithm == "graphsage-preprocess"}
+        # Euler's disk-through preprocessing is the slow one.
+        assert prep["Euler"].projected > prep["PSGraph"].projected
+
+    def test_partitioner_ablation_is_deterministic(self):
+        a = ablation_partitioners(num_vertices=10_000, num_partitions=8)
+        b = ablation_partitioners(num_vertices=10_000, num_partitions=8)
+        assert a == b
+
+
+class TestResourceEfficiency:
+    def test_tiny_sweep_shape(self):
+        from repro.experiments.resources import (
+            run_resource_efficiency,
+            total_memory_gb,
+        )
+
+        assert total_memory_gb(100, 55) == 5500
+        assert total_memory_gb(100, 20, 20, 15) == 2300
+        rows = run_resource_efficiency(
+            scale=2e-6, graphx_executor_gbs=(55.0,)
+        )
+        systems = {r["system"] for r in rows}
+        assert systems == {"GraphX", "PSGraph"}
+        ps = [r for r in rows if r["system"] == "PSGraph"][0]
+        assert ps["status"] == "ok"

@@ -1,0 +1,128 @@
+"""Last-mile coverage: GraphX Louvain modularity, CLI embeddings, misc."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.datasets.generators import community_graph
+from repro.dataflow.context import SparkContext
+from repro.graphx.fast_unfolding import _modularity, fast_unfolding
+
+
+class TestGraphXModularity:
+    def test_modularity_matches_networkx(self):
+        src, dst, truth = community_graph(
+            100, 4, avg_degree=10, mixing=0.1, seed=101
+        )
+        w = np.ones(len(src))
+        q_ours = _modularity(src, dst, w, truth)
+        nxg = nx.Graph()
+        nxg.add_edges_from(zip(src.tolist(), dst.tolist()))
+        comms = [set(np.flatnonzero(truth == c)) & set(nxg.nodes)
+                 for c in range(4)]
+        comms = [c for c in comms if c]
+        q_nx = nx.community.modularity(nxg, comms)
+        # Multi-edges make our weighted Q differ slightly from nx's
+        # simple-graph Q; they must still agree closely.
+        assert q_ours == pytest.approx(q_nx, abs=0.05)
+
+    def test_singleton_partition_has_low_modularity(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        q = _modularity(src, dst, np.ones(3), np.arange(3))
+        assert q < 0.01
+
+    def test_perfect_split_has_high_modularity(self):
+        # Two disjoint triangles.
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 0, 4, 5, 3])
+        comms = np.array([0, 0, 0, 1, 1, 1])
+        q = _modularity(src, dst, np.ones(6), comms)
+        assert q == pytest.approx(0.5)
+
+    def test_fast_unfolding_returns_total_mapping(self):
+        ctx = SparkContext(ClusterConfig(
+            num_executors=3, executor_mem_bytes=1 << 40))
+        try:
+            src, dst, _ = community_graph(
+                60, 3, avg_degree=8, mixing=0.05, seed=102
+            )
+            comms, q, rounds = fast_unfolding(ctx, src, dst)
+            n = int(max(src.max(), dst.max())) + 1
+            assert len(comms) == n
+            assert q > 0.3
+        finally:
+            ctx.stop()
+
+
+class TestCliEmbeddings:
+    @pytest.fixture
+    def edge_file(self, tmp_path):
+        src, dst, _ = community_graph(60, 3, avg_degree=8, seed=103)
+        path = tmp_path / "e.tsv"
+        path.write_text(
+            "\n".join(f"{s}\t{d}" for s, d in zip(src, dst)) + "\n"
+        )
+        return str(path)
+
+    def test_line_via_cli(self, edge_file, capsys):
+        from repro.cli import main
+
+        code = main([
+            "line", "--input", edge_file, "--dim", "4", "--epochs", "1",
+            "--executors", "2", "--servers", "2",
+        ])
+        assert code == 0
+        assert "sim time" in capsys.readouterr().out
+
+    def test_deepwalk_via_cli(self, edge_file, capsys):
+        from repro.cli import main
+
+        code = main([
+            "deepwalk", "--input", edge_file, "--dim", "4",
+            "--epochs", "1", "--executors", "2", "--servers", "2",
+        ])
+        assert code == 0
+
+    def test_connected_components_via_cli(self, edge_file, capsys):
+        from repro.cli import main
+
+        code = main([
+            "connected-components", "--input", edge_file,
+            "--executors", "2", "--servers", "2",
+        ])
+        assert code == 0
+        assert "num_components" in capsys.readouterr().out
+
+
+class TestTensorEdges:
+    def test_rsub_radd(self):
+        from repro.torchlite import Tensor
+
+        a = Tensor([2.0], requires_grad=True)
+        out = (10.0 - a) + (1.0 + a)
+        out.sum().backward()
+        assert out.data[0] == pytest.approx(11.0)
+        assert a.grad[0] == pytest.approx(0.0)
+
+    def test_log_grad(self):
+        from repro.torchlite import Tensor
+
+        a = Tensor([4.0], requires_grad=True)
+        a.log().sum().backward()
+        assert a.grad[0] == pytest.approx(0.25)
+
+    def test_detach_blocks_grad(self):
+        from repro.torchlite import Tensor
+
+        a = Tensor([3.0], requires_grad=True)
+        (a.detach() * 2).sum()  # no tape
+        assert a.grad is None
+
+    def test_item_and_repr(self):
+        from repro.torchlite import Tensor
+
+        t = Tensor([[5.0]], requires_grad=True)
+        assert t.item() == 5.0
+        assert "grad=True" in repr(t)

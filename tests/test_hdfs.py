@@ -1,0 +1,113 @@
+"""Unit tests for the simulated HDFS."""
+
+import numpy as np
+import pytest
+
+from repro.common.costs import CostModel
+from repro.common.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundOnHdfsError,
+    HdfsError,
+)
+from repro.common.metrics import HDFS_BYTES_READ, HDFS_BYTES_WRITTEN, MetricsRegistry
+from repro.common.simclock import TaskCost
+from repro.hdfs.filesystem import Hdfs
+
+
+@pytest.fixture
+def fs():
+    return Hdfs(metrics=MetricsRegistry())
+
+
+class TestReadWrite:
+    def test_text_roundtrip(self, fs):
+        fs.write_text("/data/a.txt", ["one", "two"])
+        assert fs.read_lines("/data/a.txt") == ["one", "two"]
+
+    def test_bytes_roundtrip(self, fs):
+        fs.write_bytes("/b", b"\x00\x01")
+        assert fs.read_bytes("/b") == b"\x00\x01"
+
+    def test_pickle_snapshot_is_deep_copy(self, fs):
+        obj = {"v": np.arange(4)}
+        fs.write_pickle("/ckpt/p0", obj)
+        obj["v"][0] = 99
+        loaded = fs.read_pickle("/ckpt/p0")
+        assert loaded["v"][0] == 0
+
+    def test_overwrite_required_for_existing(self, fs):
+        fs.write_text("/x", "a")
+        with pytest.raises(FileAlreadyExistsError):
+            fs.write_text("/x", "b")
+        fs.write_text("/x", "b", overwrite=True)
+        assert fs.read_text("/x") == "b"
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FileNotFoundOnHdfsError):
+            fs.read_text("/nope")
+
+    def test_empty_path_rejected(self, fs):
+        with pytest.raises(HdfsError):
+            fs.write_text("", "x")
+
+    def test_path_normalization(self, fs):
+        fs.write_text("a/b/", "x")
+        assert fs.exists("/a/b")
+        assert fs.read_text("/a/b/") == "x"
+
+
+class TestNamespace:
+    def test_listdir_sorted(self, fs):
+        fs.write_text("/d/2", "b")
+        fs.write_text("/d/1", "a")
+        fs.write_text("/other", "c")
+        assert fs.listdir("/d") == ["/d/1", "/d/2"]
+
+    def test_glob(self, fs):
+        fs.write_text("/out/part-00000", "x")
+        fs.write_text("/out/part-00001", "y")
+        fs.write_text("/out/_SUCCESS", "")
+        assert fs.glob("/out/part-*") == ["/out/part-00000", "/out/part-00001"]
+
+    def test_delete_single_and_recursive(self, fs):
+        fs.write_text("/d/a", "1")
+        fs.write_text("/d/b", "2")
+        assert fs.delete("/d/a") == 1
+        assert fs.delete("/d", recursive=True) == 1
+        assert fs.listdir("/d") == []
+
+    def test_delete_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundOnHdfsError):
+            fs.delete("/ghost")
+
+    def test_file_size_and_total(self, fs):
+        fs.write_bytes("/a", b"12345")
+        assert fs.file_size("/a") == 5
+        assert fs.total_bytes() == 5
+
+
+class TestMetering:
+    def test_write_charges_replicated_disk_time(self):
+        cm = CostModel(disk_write_bps=100.0, disk_read_bps=100.0)
+        fs = Hdfs(cost_model=cm, replication=3)
+        cost = TaskCost()
+        fs.write_bytes("/a", b"x" * 100, cost=cost)
+        assert cost.disk_s == pytest.approx(3.0)
+
+    def test_read_charges_disk_time_once(self):
+        cm = CostModel(disk_write_bps=100.0, disk_read_bps=100.0)
+        fs = Hdfs(cost_model=cm, replication=3)
+        fs.write_bytes("/a", b"x" * 100)
+        cost = TaskCost()
+        fs.read_bytes("/a", cost=cost)
+        assert cost.disk_s == pytest.approx(1.0)
+
+    def test_metrics_counters(self, fs):
+        fs.write_bytes("/a", b"x" * 10)
+        fs.read_bytes("/a")
+        assert fs.metrics.get(HDFS_BYTES_WRITTEN) == 30  # 3x replication
+        assert fs.metrics.get(HDFS_BYTES_READ) == 10
+
+    def test_block_count(self, fs):
+        f = fs.write_bytes("/big", b"x" * (fs.block_size + 1))
+        assert f.num_blocks == 2

@@ -2,10 +2,14 @@
 """Quickstart: PageRank on PSGraph, end to end.
 
 Mirrors Listing 1 of the paper: create the Spark + PS contexts, load an
-edge list from (simulated) HDFS, run an algorithm, save the result.
+edge list from (simulated) HDFS, run an algorithm, save the result — and
+record a sim-time trace of the whole run (see docs/observability.md).
 
 Run:
     python examples/quickstart.py
+
+Then open ``quickstart-trace.json`` in chrome://tracing or
+https://ui.perfetto.dev to see the simulated cluster schedule.
 """
 
 from repro.common.config import ClusterConfig, MB
@@ -14,6 +18,7 @@ from repro.core.context import PSGraphContext
 from repro.core.runner import GraphRunner
 from repro.datasets.generators import powerlaw_graph
 from repro.datasets.tencent import write_edges
+from repro.obs import Tracer, timeline_report, write_chrome_trace
 
 
 def main() -> None:
@@ -22,7 +27,9 @@ def main() -> None:
         num_executors=8, executor_mem_bytes=256 * MB,
         num_servers=4, server_mem_bytes=256 * MB,
     )
-    with PSGraphContext(cluster, app_name="quickstart") as ctx:
+    tracer = Tracer()
+    with PSGraphContext(cluster, app_name="quickstart",
+                        tracer=tracer) as ctx:
         # Generate a power-law graph and stage it on HDFS as text.
         src, dst = powerlaw_graph(5000, 60000, seed=7)
         write_edges(ctx.hdfs, "/input/edges", src, dst, num_files=8)
@@ -42,6 +49,13 @@ def main() -> None:
         print(f"simulated job time: {ctx.sim_time():.3f} s")
         print(f"output files: {len(ctx.hdfs.listdir('/output/ranks'))} "
               f"partitions on HDFS")
+
+        # Observability: the sim-time schedule as a Chrome trace plus a
+        # per-stage timeline on stdout.
+        n = write_chrome_trace("quickstart-trace.json", tracer)
+        print(f"wrote {n} trace events to quickstart-trace.json")
+        print()
+        print(timeline_report(tracer, sim_time_s=ctx.sim_time()))
 
 
 if __name__ == "__main__":

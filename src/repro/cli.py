@@ -16,6 +16,13 @@ import sys
 from typing import List, Sequence
 
 from repro.common.config import GB, ClusterConfig
+from repro.obs import (
+    NOOP_TRACER,
+    Tracer,
+    timeline_report,
+    write_chrome_trace,
+    write_metrics_json,
+)
 from repro.core.algorithms import (
     CommonNeighbor,
     ConnectedComponents,
@@ -43,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Run a PSGraph algorithm on an edge list.",
+        epilog=(
+            "Observability: --trace writes a Chrome-trace JSON (open in "
+            "chrome://tracing or https://ui.perfetto.dev), --metrics dumps "
+            "counters/gauges/histograms as JSON, --timeline prints a "
+            "per-stage sim-time report.  See docs/observability.md."
+        ),
     )
     parser.add_argument("algorithm", choices=ALGORITHMS)
     parser.add_argument("--input", required=True,
@@ -60,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="embedding dimension (line / deepwalk)")
     parser.add_argument("--epochs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the simulated "
+                             "schedule to PATH")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write counters/gauges/histograms to PATH "
+                             "as JSON")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print a per-stage / per-iteration sim-time "
+                             "timeline after the run")
     return parser
 
 
@@ -98,7 +120,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         num_servers=args.servers,
         server_mem_bytes=int(args.server_gb * GB),
     )
-    with PSGraphContext(cluster, app_name=f"cli-{args.algorithm}") as ctx:
+    tracing = args.trace is not None or args.timeline
+    tracer = Tracer() if tracing else NOOP_TRACER
+    with PSGraphContext(cluster, app_name=f"cli-{args.algorithm}",
+                        tracer=tracer) as ctx:
         ctx.hdfs.write_text("/input/edges/part-00000", lines)
         result = GraphRunner(ctx).run(
             make_algorithm(args), "/input/edges",
@@ -116,7 +141,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             with open(args.output, "w") as f:
                 f.write("\n".join(rows) + "\n")
             print(f"wrote {len(rows)} rows to {args.output}")
-    return 0
+        # Artifact writes come after the run; a bad path must not dump a
+        # traceback over the (already printed) results.
+        rc = 0
+        if args.trace:
+            try:
+                n = write_chrome_trace(args.trace, tracer)
+                print(f"wrote {n} trace events to {args.trace}")
+            except OSError as e:
+                print(f"error: cannot write trace: {e}", file=sys.stderr)
+                rc = 1
+        if args.metrics:
+            try:
+                write_metrics_json(args.metrics, ctx.metrics)
+                print(f"wrote metrics to {args.metrics}")
+            except OSError as e:
+                print(f"error: cannot write metrics: {e}", file=sys.stderr)
+                rc = 1
+        if args.timeline:
+            print()
+            print(timeline_report(tracer, sim_time_s=ctx.sim_time()))
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,22 +1,132 @@
 """Cluster-wide metrics registry.
 
 A single :class:`MetricsRegistry` per simulated cluster collects counters
-(bytes shuffled, RPC calls, records processed, checkpoints written, ...) so
-experiments and ablation benches can report *why* one system beats another,
-not just the end-to-end time.
+(bytes shuffled, RPC calls, records processed, checkpoints written, ...),
+gauges (point-in-time values) and histograms (distributions with p50/p95),
+so experiments and ablation benches can report *why* one system beats
+another, not just the end-to-end time.
+
+Counters remain a flat map of name -> float and are the only thing
+:meth:`MetricsRegistry.snapshot` returns, so code written against the
+counter-only registry (including the benchmark suite) sees identical
+snapshots whether or not histograms are populated.  The full structured
+dump lives in :func:`repro.obs.export.metrics_to_dict`.
 """
 
 from __future__ import annotations
 
+import time
+from bisect import insort
 from collections import defaultdict
-from typing import Dict, Iterator, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.simclock import SimClock
+
+
+class Histogram:
+    """A distribution of observed values with percentile queries.
+
+    Samples are kept sorted (simulated runs observe thousands of values,
+    not billions) so percentiles are exact, not sketched.
+    """
+
+    __slots__ = ("_sorted", "_sum")
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Add one sample."""
+        insort(self._sorted, float(value))
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return len(self._sorted)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all samples."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return self._sorted[0] if self._sorted else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return self._sorted[-1] if self._sorted else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), linearly interpolated.
+
+        Returns 0.0 for an empty histogram; the single sample for a
+        one-sample histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        values = self._sorted
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        pos = (len(values) - 1) * (q / 100.0)
+        lo = int(pos)
+        frac = pos - lo
+        if lo + 1 >= len(values):
+            return values[-1]
+        return values[lo] * (1.0 - frac) + values[lo + 1] * frac
+
+    def summary(self) -> Dict[str, float]:
+        """Compact description: count, sum, min/mean/max, p50/p95."""
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Gauge:
+    """A point-in-time value that remembers its high-water mark."""
+
+    __slots__ = ("value", "high", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.high = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+        self.updates += 1
+        if value > self.high:
+            self.high = float(value)
 
 
 class MetricsRegistry:
-    """A flat map of counter name -> float, with convenience helpers."""
+    """Counters, gauges and histograms keyed by dotted names."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    # -- counters ----------------------------------------------------------
 
     def inc(self, name: str, value: float = 1.0) -> float:
         """Increment counter ``name`` by ``value`` and return the new total."""
@@ -28,18 +138,97 @@ class MetricsRegistry:
         return self._counters.get(name, 0.0)
 
     def set_max(self, name: str, value: float) -> float:
-        """Raise counter ``name`` to ``value`` if it is currently lower."""
-        if value > self._counters.get(name, float("-inf")):
+        """Raise counter ``name`` to ``value`` if it is currently lower.
+
+        An untouched counter reads 0.0 (see :meth:`get`), so 0.0 is also
+        the floor for max-tracking: values below it are not stored, which
+        keeps ``set_max`` and ``get`` consistent — a max-tracked counter
+        never reads lower than the default a fresh counter reports.
+
+        Returns:
+            The counter's value after the update.
+        """
+        if value > self._counters.get(name, 0.0):
             self._counters[name] = value
-        return self._counters[name]
+        return self._counters.get(name, 0.0)
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram ``name`` (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """Histogram ``name``, created empty if it does not exist yet."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        return hist
+
+    def histograms(self) -> Iterator[Tuple[str, Histogram]]:
+        """All histograms, sorted by name."""
+        return iter(sorted(self._histograms.items()))
+
+    @contextmanager
+    def timer(self, name: str, clock: SimClock | None = None):
+        """Time a block and observe the elapsed seconds in histogram ``name``.
+
+        Args:
+            clock: when given, elapsed *simulated* seconds are measured on
+                this clock; otherwise wall-clock seconds via
+                :func:`time.perf_counter`.
+        """
+        start = clock.now_s if clock is not None else time.perf_counter()
+        try:
+            yield self
+        finally:
+            end = clock.now_s if clock is not None else time.perf_counter()
+            self.observe(name, end - start)
+
+    # -- gauges ------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current value of gauge ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.set(value)
+
+    def get_gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 if never set)."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0.0
+
+    def gauge_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Copy of every gauge: ``{name: {value, high, updates}}``."""
+        return {
+            name: {"value": g.value, "high": g.high,
+                   "updates": float(g.updates)}
+            for name, g in sorted(self._gauges.items())
+        }
+
+    # -- views & maintenance ----------------------------------------------
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view that prepends ``prefix + '.'`` to every metric name.
+
+        Lets a subsystem write ``m.inc("polls")`` instead of hand-
+        concatenating ``"ingest.polls"`` strings at every call site.
+        """
+        return ScopedMetrics(self, prefix)
 
     def snapshot(self) -> Dict[str, float]:
-        """Immutable copy of all counters."""
+        """Immutable copy of all counters (counters only, see module doc)."""
         return dict(self._counters)
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Drop every counter, histogram and gauge."""
         self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
         return iter(sorted(self._counters.items()))
@@ -55,6 +244,51 @@ class MetricsRegistry:
             if name.startswith(prefix)
         ]
         return "\n".join(lines)
+
+
+class ScopedMetrics:
+    """Prefix-applying view over a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def inc(self, name: str, value: float = 1.0) -> float:
+        """Increment the prefixed counter."""
+        return self._registry.inc(self._name(name), value)
+
+    def get(self, name: str) -> float:
+        """Read the prefixed counter."""
+        return self._registry.get(self._name(name))
+
+    def set_max(self, name: str, value: float) -> float:
+        """Max-track the prefixed counter."""
+        return self._registry.set_max(self._name(name), value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Observe into the prefixed histogram."""
+        self._registry.observe(self._name(name), value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The prefixed histogram."""
+        return self._registry.histogram(self._name(name))
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the prefixed gauge."""
+        self._registry.set_gauge(self._name(name), value)
+
+    def timer(self, name: str, clock: SimClock | None = None):
+        """Time a block into the prefixed histogram."""
+        return self._registry.timer(self._name(name), clock)
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A further-nested scope."""
+        return ScopedMetrics(self._registry, self._name(prefix))
 
 
 # Well-known counter names, kept here so subsystems agree on spelling.
@@ -77,3 +311,9 @@ HDFS_BYTES_WRITTEN = "hdfs.bytes_written"
 RPC_CALLS = "net.rpc.calls"
 RPC_BYTES = "net.rpc.bytes"
 CONTAINERS_RESTARTED = "yarn.containers.restarted"
+
+# Well-known histogram names (populated via ``MetricsRegistry.observe``).
+TASK_DURATION_H = "dataflow.task.duration_s"
+SHUFFLE_WRITE_H = "dataflow.shuffle.write_bytes_dist"
+SHUFFLE_FETCH_H = "dataflow.shuffle.fetch_bytes_dist"
+PS_REQUEST_H = "ps.request.bytes_dist"

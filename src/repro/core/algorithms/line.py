@@ -27,11 +27,7 @@ from repro.common.rng import DEFAULT_SEED, derive_seed
 from repro.core.algorithms.base import AlgorithmResult, GraphAlgorithm
 from repro.core.blocks import EdgeBlock
 from repro.core.context import PSGraphContext
-from repro.core.ops import (
-    charge_primitive_compute,
-    max_vertex_id,
-    to_neighbor_tables,
-)
+from repro.core.ops import charge_primitive_compute, max_vertex_id
 from repro.dataflow.rdd import RDD
 from repro.dataflow.taskctx import current_task_context
 from repro.ps.psfunc import RandomInit

@@ -8,13 +8,14 @@ RPC fabric and one metrics registry.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from repro.common.config import ClusterConfig
 from repro.common.metrics import MetricsRegistry
 from repro.dataflow.context import SparkContext
 from repro.dataflow.dataframe import DataFrame
 from repro.hdfs.filesystem import Hdfs
+from repro.obs.tracer import NOOP_TRACER, NoopTracer
 from repro.ps.context import PSContext
 
 
@@ -27,15 +28,19 @@ class PSGraphContext:
         app_name: label for the driver container.
         hdfs: optionally share an existing filesystem (e.g. with a baseline
             system reading the same input).
+        tracer: sim-time span tracer (see :mod:`repro.obs`); the default
+            no-op tracer records nothing and costs nothing.
     """
 
     def __init__(self, cluster: ClusterConfig, *, sync_mode: str = "bsp",
                  app_name: str = "psgraph",
                  hdfs: Hdfs | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         self.cluster = cluster
         self.spark = SparkContext(
-            cluster, app_name=app_name, hdfs=hdfs, metrics=metrics
+            cluster, app_name=app_name, hdfs=hdfs, metrics=metrics,
+            tracer=tracer,
         )
         self.ps = PSContext(self.spark, sync_mode=sync_mode)
         self._stopped = False
@@ -51,6 +56,11 @@ class PSGraphContext:
     def metrics(self) -> MetricsRegistry:
         """The shared metrics registry."""
         return self.spark.metrics
+
+    @property
+    def tracer(self) -> NoopTracer:
+        """The session's span tracer (no-op unless one was passed in)."""
+        return self.spark.tracer
 
     def sim_time(self) -> float:
         """Simulated job time so far, in seconds (driver clock)."""

@@ -5,13 +5,24 @@ data source, run the algorithm, save the generated model::
 
     runner = GraphRunner(ctx)
     result = runner.run(PageRank(), "/input/edges", "/output/ranks")
+
+The runner is also the session's reporting seam: each phase (load /
+transform / save) is timed into the ``runner.*`` histograms and traced on
+the driver's "phases" track, and report hooks registered with
+:meth:`GraphRunner.add_report_hook` fire after every completed run — the
+CLI uses one to write trace/metrics/timeline artifacts.
 """
 
 from __future__ import annotations
 
+from typing import Callable, List
+
 from repro.core.algorithms.base import AlgorithmResult, GraphAlgorithm
 from repro.core.context import PSGraphContext
 from repro.core.graphio import GraphIO
+
+#: Hook signature: ``hook(result)`` called after each completed run.
+ReportHook = Callable[[AlgorithmResult], None]
 
 
 class GraphRunner:
@@ -19,6 +30,20 @@ class GraphRunner:
 
     def __init__(self, ctx: PSGraphContext) -> None:
         self.ctx = ctx
+        self._report_hooks: List[ReportHook] = []
+        self._metrics = ctx.metrics.scoped("runner")
+
+    def add_report_hook(self, hook: ReportHook) -> None:
+        """Register a callback invoked with each run's result."""
+        self._report_hooks.append(hook)
+
+    def remove_report_hook(self, hook: ReportHook) -> None:
+        """Unregister a report callback."""
+        self._report_hooks.remove(hook)
+
+    def _phase(self, name: str):
+        """Sim-clock timer for one runner phase (``runner.<name>`` hist)."""
+        return self._metrics.timer(name, clock=self.ctx.spark.driver_clock)
 
     def run(self, algo: GraphAlgorithm, input_path: str,
             output_path: str | None = None, *,
@@ -33,11 +58,26 @@ class GraphRunner:
             weighted: parse a third weight column (fast unfolding input).
             num_partitions: RDD partitions for the edge dataset.
         """
-        graph = GraphIO.load(
-            self.ctx, input_path, weighted=weighted,
-            num_partitions=num_partitions,
-        )
-        result = algo.transform(self.ctx, graph)
+        tracer = self.ctx.tracer
+        clock = self.ctx.spark.driver_clock
+        algo_name = type(algo).__name__
+
+        with tracer.clock_span("driver", "phases", "load", clock,
+                               {"input": input_path}), \
+                self._phase("load_s"):
+            graph = GraphIO.load(
+                self.ctx, input_path, weighted=weighted,
+                num_partitions=num_partitions,
+            )
+        with tracer.clock_span("driver", "phases", "transform", clock,
+                               {"algorithm": algo_name}), \
+                self._phase("transform_s"):
+            result = algo.transform(self.ctx, graph)
         if output_path is not None:
-            GraphIO.save(result.output, output_path)
+            with tracer.clock_span("driver", "phases", "save", clock,
+                                   {"output": output_path}), \
+                    self._phase("save_s"):
+                GraphIO.save(result.output, output_path)
+        for hook in list(self._report_hooks):
+            hook(result)
         return result

@@ -16,6 +16,7 @@ from repro.common.config import ClusterConfig
 from repro.common.metrics import MetricsRegistry
 from repro.common.simclock import SimClock, barrier
 from repro.dataflow.executor import Executor
+from repro.obs.tracer import NOOP_TRACER, NoopTracer
 from repro.dataflow.rdd import RDD, ParallelCollectionRDD, TextFileRDD
 from repro.dataflow.scheduler import DAGScheduler
 from repro.dataflow.shuffle import ShuffleService
@@ -36,6 +37,9 @@ class SparkContext:
         metrics: shared metrics registry; created fresh when omitted.
         resource_manager: shared Yarn; created fresh when omitted.
         rpc: shared RPC fabric (the PS attaches here); created when omitted.
+        tracer: sim-time span tracer threaded into every subsystem this
+            context creates; the default no-op tracer records nothing.
+            (Subsystems passed in pre-built keep their own tracer.)
         app_name: label used for the driver container id.
         auto_restart_executors: when True (Spark's behaviour), a task routed
             to a dead executor restarts it via the resource manager instead
@@ -47,17 +51,19 @@ class SparkContext:
                  metrics: MetricsRegistry | None = None,
                  resource_manager: ResourceManager | None = None,
                  rpc: RpcEnv | None = None,
+                 tracer: NoopTracer = NOOP_TRACER,
                  app_name: str = "app",
                  auto_restart_executors: bool = True) -> None:
         self.cluster = cluster
         self.app_name = app_name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self.hdfs = hdfs if hdfs is not None else Hdfs(
             cluster.cost_model, self.metrics
         )
         self.resource_manager = (
             resource_manager if resource_manager is not None
-            else ResourceManager(self.metrics)
+            else ResourceManager(self.metrics, tracer=tracer)
         )
         self.rpc = rpc if rpc is not None else RpcEnv(
             cluster.cost_model, self.metrics
@@ -75,6 +81,9 @@ class SparkContext:
                 )
             )
         ]
+        # The shuffle service, HDFS and RPC fabric trace their in-task
+        # operations through the running TaskContext (see taskctx.task_span),
+        # so only clock-owning subsystems receive the tracer directly.
         self.shuffle_service = ShuffleService(cluster.cost_model, self.metrics)
         self.scheduler = DAGScheduler(self)
         self._task_hooks: List[TaskHook] = []

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List
 from repro.common.errors import ContainerLostError, StageFailedError
 from repro.common.metrics import (
     STAGES_RUN,
+    TASK_DURATION_H,
     TASKS_FAILED,
     TASKS_LAUNCHED,
 )
@@ -114,7 +115,8 @@ class DAGScheduler:
                           tctx: TaskContext) -> None:
         cm = self.ctx.cluster.cost_model
         records = metered(
-            dep.parent.iterator(mp, tctx), tctx.cost, cm.cpu_record_s
+            dep.parent.iterator(mp, tctx), tctx.cost, cm.cpu_record_s,
+            trace_name="map-input",
         )
         buckets: Dict[int, List[Any]] = defaultdict(list)
         part = dep.partitioner
@@ -157,7 +159,8 @@ class DAGScheduler:
 
         def result_task(p: int, tctx: TaskContext) -> Any:
             records = metered(
-                rdd.iterator(p, tctx), tctx.cost, cm.cpu_record_s
+                rdd.iterator(p, tctx), tctx.cost, cm.cpu_record_s,
+                trace_name="result-input",
             )
             return func(p, records)
 
@@ -175,9 +178,12 @@ class DAGScheduler:
                    kind: str) -> Dict[int, Any]:
         ctx = self.ctx
         metrics = ctx.metrics
+        tracer = ctx.tracer
         stage_id = self._stage_seq
         self._stage_seq += 1
         metrics.inc(STAGES_RUN)
+        stage_start_s = ctx.driver_clock.now_s
+        failures = 0
 
         busy: Dict[int, float] = defaultdict(float)
         results: Dict[int, Any] = {}
@@ -186,7 +192,8 @@ class DAGScheduler:
         while pending:
             p = pending.pop(0)
             executor = ctx.executor_for_partition(p)
-            tctx = TaskContext(stage_id, p, executor, attempt=attempts[p])
+            tctx = TaskContext(stage_id, p, executor, attempt=attempts[p],
+                               tracer=tracer)
             metrics.inc(TASKS_LAUNCHED)
             try:
                 with task_scope(tctx):
@@ -194,6 +201,14 @@ class DAGScheduler:
                     result = task(p, tctx)
             except ShuffleOutputLostError as lost:
                 metrics.inc(TASKS_FAILED)
+                failures += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        executor.id, "tasks", "task-failed",
+                        executor.container.clock.now_s,
+                        {"stage": stage_id, "partition": p,
+                         "reason": f"shuffle-{lost.shuffle_id}-lost"},
+                    )
                 attempts[p] += 1
                 if attempts[p] >= MAX_TASK_ATTEMPTS:
                     raise StageFailedError(
@@ -205,6 +220,14 @@ class DAGScheduler:
                 continue
             except ContainerLostError:
                 metrics.inc(TASKS_FAILED)
+                failures += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        executor.id, "tasks", "task-failed",
+                        executor.container.clock.now_s,
+                        {"stage": stage_id, "partition": p,
+                         "reason": "container-lost"},
+                    )
                 attempts[p] += 1
                 if attempts[p] >= MAX_TASK_ATTEMPTS:
                     raise StageFailedError(
@@ -214,6 +237,29 @@ class DAGScheduler:
                 ctx.handle_executor_failure(executor)
                 pending.insert(0, p)
                 continue
+            metrics.observe(TASK_DURATION_H, tctx.cost.total_s)
+            if tracer.enabled:
+                # Two views of the finished attempt: the executor's
+                # compressed parallel row (serial cost / cores, tiled in
+                # completion order) and the task's own serial detail row.
+                cores = max(1, executor.container.cores)
+                base = executor.container.clock.now_s
+                tracer.add(
+                    executor.id, "tasks",
+                    f"task s{stage_id}.p{p}",
+                    base + busy[executor.index] / cores,
+                    base + (busy[executor.index] + tctx.cost.total_s) / cores,
+                    {"stage": stage_id, "partition": p, "kind": kind,
+                     "attempt": tctx.attempt,
+                     "cpu_s": tctx.cost.cpu_s, "net_s": tctx.cost.net_s,
+                     "disk_s": tctx.cost.disk_s},
+                )
+                tracer.add(
+                    executor.id, tctx.trace_track, "task",
+                    base, base + tctx.cost.total_s,
+                    {"stage": stage_id, "partition": p, "kind": kind,
+                     "attempt": tctx.attempt},
+                )
             busy[executor.index] += tctx.cost.total_s
             results[p] = result
             ctx.notify_task_complete(stage_id, p, kind)
@@ -226,5 +272,12 @@ class DAGScheduler:
                 ex.container.clock.advance(busy[ex.index] / cores)
             if ex.alive:
                 clocks.append(ex.container.clock)
-        barrier(clocks)
+        end_s = barrier(clocks)
+        if tracer.enabled:
+            tracer.add(
+                "driver", "stages", f"stage {stage_id} ({kind})",
+                stage_start_s, end_s,
+                {"stage": stage_id, "kind": kind,
+                 "tasks": len(partitions), "failures": failures},
+            )
         return results

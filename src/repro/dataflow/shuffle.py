@@ -24,12 +24,15 @@ from repro.common.errors import PSGraphError
 from repro.common.metrics import (
     SHUFFLE_BYTES_READ,
     SHUFFLE_BYTES_WRITTEN,
+    SHUFFLE_FETCH_H,
     SHUFFLE_RECORDS,
+    SHUFFLE_WRITE_H,
     MetricsRegistry,
 )
 from repro.common.simclock import TaskCost
 from repro.common.sizeof import sizeof_records
 from repro.dataflow.executor import Executor
+from repro.dataflow.taskctx import task_span
 
 
 _shuffle_ids = itertools.count()
@@ -91,8 +94,11 @@ class ShuffleService:
         tag = f"shuffle-buffer:{shuffle_id}:{map_partition}"
         executor.container.memory.allocate(buffer_bytes, tag=tag)
         try:
-            cost.cpu_s += self.cost_model.serialization_time(total)
-            cost.disk_s += self.cost_model.disk_write_time(total)
+            with task_span("shuffle.write", cost,
+                           {"shuffle": shuffle_id, "map": map_partition,
+                            "bytes": total, "records": records}):
+                cost.cpu_s += self.cost_model.serialization_time(total)
+                cost.disk_s += self.cost_model.disk_write_time(total)
         finally:
             executor.container.memory.release_tag(tag)
         out = MapOutput(executor.id, buckets, bucket_bytes, records)
@@ -100,6 +106,7 @@ class ShuffleService:
         if self.metrics is not None:
             self.metrics.inc(SHUFFLE_BYTES_WRITTEN, total)
             self.metrics.inc(SHUFFLE_RECORDS, records)
+            self.metrics.observe(SHUFFLE_WRITE_H, total)
         return out
 
     def has_output(self, shuffle_id: int, map_partition: int,
@@ -136,11 +143,16 @@ class ShuffleService:
                 remote_bytes += nbytes
             records.extend(bucket)
         total = local_bytes + remote_bytes
-        cost.disk_s += self.cost_model.disk_read_time(total)
-        cost.net_s += self.cost_model.network_time(remote_bytes)
-        cost.cpu_s += self.cost_model.serialization_time(total)
+        with task_span("shuffle.fetch", cost,
+                       {"shuffle": shuffle_id, "reduce": reduce_partition,
+                        "local_bytes": local_bytes,
+                        "remote_bytes": remote_bytes}):
+            cost.disk_s += self.cost_model.disk_read_time(total)
+            cost.net_s += self.cost_model.network_time(remote_bytes)
+            cost.cpu_s += self.cost_model.serialization_time(total)
         if self.metrics is not None:
             self.metrics.inc(SHUFFLE_BYTES_READ, total)
+            self.metrics.observe(SHUFFLE_FETCH_H, total)
         return records
 
     # -- failure handling ---------------------------------------------------

@@ -6,15 +6,22 @@ memory tracker, and cluster-wide handles, and is published through a
 context variable so code called from *inside* user functions — most
 importantly the PS agent's pull/push — can charge the running task without
 plumbing arguments through every lambda.
+
+The context also carries the cluster's :class:`~repro.obs.tracer.Tracer`
+(a no-op by default): sub-operations of a task (shuffle fetches, PS
+pulls, HDFS reads) call :func:`task_span` to place themselves on the
+task's serial sim-time row without threading a tracer argument through
+every iterator chain.
 """
 
 from __future__ import annotations
 
 import contextvars
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
 from repro.common.simclock import TaskCost
+from repro.obs.tracer import NOOP_SCOPE, NOOP_TRACER, NoopTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataflow.executor import Executor
@@ -30,6 +37,7 @@ class TaskContext:
         executor: executor the task runs on.
         cost: simulated cost accumulated by the task so far.
         attempt: retry attempt number (0 = first try).
+        tracer: the cluster tracer (no-op unless tracing is enabled).
     """
 
     stage_id: int
@@ -37,6 +45,21 @@ class TaskContext:
     executor: "Executor"
     cost: TaskCost = field(default_factory=TaskCost)
     attempt: int = 0
+    tracer: NoopTracer = NOOP_TRACER
+
+    @property
+    def trace_track(self) -> str:
+        """The task's own trace row, e.g. ``s4.p2`` (see docs)."""
+        return f"s{self.stage_id}.p{self.partition_id}"
+
+    @property
+    def trace_base_s(self) -> float:
+        """Sim-time origin of the task's serial timeline.
+
+        Executor clocks stand still while a task accumulates cost, so the
+        clock reading *is* the stage start on this executor.
+        """
+        return self.executor.container.clock.now_s
 
 
 _current: contextvars.ContextVar[TaskContext | None] = contextvars.ContextVar(
@@ -47,6 +70,29 @@ _current: contextvars.ContextVar[TaskContext | None] = contextvars.ContextVar(
 def current_task_context() -> TaskContext | None:
     """The task context of the currently executing task, if any."""
     return _current.get()
+
+
+def task_span(name: str, cost: TaskCost | None = None,
+              tags: Optional[Dict[str, object]] = None):
+    """Span scope on the current task's trace row.
+
+    Places ``name`` at ``[base + cost_before, base + cost_after]`` on the
+    running task's serial timeline.  Returns a no-op scope when no task is
+    running or tracing is disabled, so call sites need no guards.
+
+    Args:
+        cost: the accumulator the operation charges; defaults to the
+            running task's own cost.
+        tags: optional labels exported with the span.
+    """
+    tctx = _current.get()
+    if tctx is None or not tctx.tracer.enabled:
+        return NOOP_SCOPE
+    return tctx.tracer.cost_span(
+        tctx.executor.id, tctx.trace_track, name,
+        cost if cost is not None else tctx.cost,
+        tctx.trace_base_s, tags,
+    )
 
 
 class task_scope:
@@ -65,8 +111,23 @@ class task_scope:
             _current.reset(self._token)
 
 
-def metered(iterator: Iterator, cost: TaskCost, cpu_record_s: float) -> Iterator:
-    """Wrap an iterator, charging per-record CPU to ``cost`` as it is drained."""
+def metered(iterator: Iterator, cost: TaskCost, cpu_record_s: float,
+            trace_name: str | None = None) -> Iterator:
+    """Wrap an iterator, charging per-record CPU to ``cost`` as it is drained.
+
+    When ``trace_name`` is given and the running task is being traced, one
+    span covering the whole drain — including any shuffle fetch or HDFS
+    read charged by the upstream iterator chain — is placed on the task's
+    trace row when the iterator is exhausted.
+    """
+    if trace_name is not None:
+        tctx = _current.get()
+        if tctx is not None and tctx.tracer.enabled:
+            with task_span(trace_name, cost):
+                for item in iterator:
+                    cost.cpu_s += cpu_record_s
+                    yield item
+            return
     for item in iterator:
         cost.cpu_s += cpu_record_s
         yield item

@@ -33,6 +33,14 @@ from repro.common.metrics import (
 from repro.common.simclock import TaskCost
 from repro.common.sizeof import sizeof
 
+
+def _task_span(name: str, cost: TaskCost, tags: dict):
+    """In-task trace scope; imported lazily to avoid an import cycle with
+    the dataflow package (which itself imports this module)."""
+    from repro.dataflow.taskctx import task_span
+
+    return task_span(name, cost, tags)
+
 #: Default HDFS block size.  The absolute value only affects block counts in
 #: metadata; IO cost is charged on byte totals.
 DEFAULT_BLOCK_SIZE = 8 * 1024 * 1024
@@ -113,8 +121,12 @@ class Hdfs:
         self._files[path] = f
         written = logical * self.replication
         if cost is not None:
-            cost.disk_s += self.cost_model.disk_write_time(written)
-            cost.cpu_s += self.cost_model.serialization_time(logical)
+            # In-task writes land on the running task's trace row; writes
+            # from clock-owning callers (PS checkpoints) are traced there.
+            with _task_span("hdfs.write", cost,
+                            {"path": path, "bytes": written}):
+                cost.disk_s += self.cost_model.disk_write_time(written)
+                cost.cpu_s += self.cost_model.serialization_time(logical)
         if self.metrics is not None:
             self.metrics.inc(HDFS_BYTES_WRITTEN, written)
         return f
@@ -145,8 +157,12 @@ class Hdfs:
 
     def _charge_read(self, f: HdfsFile, cost: TaskCost | None) -> None:
         if cost is not None:
-            cost.disk_s += self.cost_model.disk_read_time(f.logical_bytes)
-            cost.cpu_s += self.cost_model.serialization_time(f.logical_bytes)
+            with _task_span("hdfs.read", cost,
+                            {"path": f.path, "bytes": f.logical_bytes}):
+                cost.disk_s += self.cost_model.disk_read_time(f.logical_bytes)
+                cost.cpu_s += self.cost_model.serialization_time(
+                    f.logical_bytes
+                )
         if self.metrics is not None:
             self.metrics.inc(HDFS_BYTES_READ, f.logical_bytes)
 

@@ -93,7 +93,11 @@ class EdgeStreamConsumer:
         self.hdfs = hdfs
         self.landing_dir = landing_dir.rstrip("/")
         self.table = table
-        self.metrics = metrics
+        # Scoped view: every counter below lands under "ingest." without
+        # hand-concatenating name strings at each call site.
+        self.metrics = (
+            metrics.scoped("ingest") if metrics is not None else None
+        )
         self.offsets: Dict[int, int] = {
             p: 0 for p in range(topic.num_partitions)
         }
@@ -140,8 +144,8 @@ class EdgeStreamConsumer:
                     np.asarray(all_dst, dtype=np.int64),
                 )
         if self.metrics is not None:
-            self.metrics.inc("ingest.polls")
-            self.metrics.inc("ingest.records", consumed)
+            self.metrics.inc("polls")
+            self.metrics.inc("records", consumed)
         return consumed
 
     def drain(self, max_polls: int = 1000) -> int:

@@ -25,6 +25,14 @@ from repro.common.simclock import TaskCost
 from repro.common.sizeof import sizeof
 
 
+def _task_span(name: str, cost: TaskCost, tags: dict):
+    """In-task trace scope; imported lazily to avoid an import cycle with
+    the dataflow package (whose context module imports this one)."""
+    from repro.dataflow.taskctx import task_span
+
+    return task_span(name, cost, tags)
+
+
 @dataclass
 class RpcEndpoint:
     """One addressable party on the fabric (a PS server, the master, ...).
@@ -126,8 +134,14 @@ class RpcEnv:
         payload = request_bytes + response_bytes
         congestion = max(1.0, concurrent_clients / max(1, num_servers))
         if cost is not None:
-            cost.net_s += self.cost_model.network_time(payload, congestion)
-            cost.cpu_s += self.cost_model.serialization_time(payload)
+            # When called from inside a dataflow task, the transfer lands
+            # as a span on the task's trace row (no-op otherwise).
+            with _task_span(f"rpc.{method}", cost,
+                            {"endpoint": name, "bytes": payload}):
+                cost.net_s += self.cost_model.network_time(
+                    payload, congestion
+                )
+                cost.cpu_s += self.cost_model.serialization_time(payload)
         if self.metrics is not None:
             self.metrics.inc(RPC_CALLS)
             self.metrics.inc(RPC_BYTES, payload)

@@ -1,0 +1,45 @@
+"""Observability: sim-time tracing, histograms and exporters.
+
+The :mod:`repro.obs` subsystem makes *why one configuration beats another*
+observable instead of asserted: a :class:`~repro.obs.tracer.Tracer` records
+sim-time spans for every dataflow stage, task attempt, shuffle write/fetch,
+PS pull/push/psFunc, RPC, HDFS read/write, checkpoint and container
+restart, and exporters turn the recording into a Chrome trace
+(``chrome://tracing`` / Perfetto), a plain-text per-stage timeline, or a
+JSON metrics dump.  See ``docs/observability.md``.
+
+Tracing is off by default: every subsystem is threaded with
+:data:`~repro.obs.tracer.NOOP_TRACER`, whose methods do nothing, so
+benchmark numbers are unchanged unless a recording tracer is supplied::
+
+    from repro.obs import Tracer, write_chrome_trace, timeline_report
+
+    tracer = Tracer()
+    with PSGraphContext(cluster, tracer=tracer) as ctx:
+        GraphRunner(ctx).run(PageRank(), "/input/edges")
+        print(timeline_report(tracer, ctx.sim_time()))
+        write_chrome_trace("trace.json", tracer)
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_to_dict,
+    timeline_report,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.tracer import INSTANT, NOOP_TRACER, SPAN, NoopTracer, Span, Tracer
+
+__all__ = [
+    "INSTANT",
+    "NOOP_TRACER",
+    "SPAN",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "metrics_to_dict",
+    "timeline_report",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

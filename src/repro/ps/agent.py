@@ -25,7 +25,7 @@ retries once.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,10 +40,11 @@ from repro.common.metrics import (
     PS_PULLS,
     PS_PUSH_BYTES,
     PS_PUSHES,
+    PS_REQUEST_H,
 )
 from repro.common.simclock import TaskCost
 from repro.common.sizeof import sizeof
-from repro.dataflow.taskctx import current_task_context
+from repro.dataflow.taskctx import current_task_context, task_span
 from repro.ps.meta import MatrixMeta
 from repro.ps.psfunc import PsFunc
 
@@ -109,15 +110,30 @@ class PSAgent:
         if calls:
             busiest = max(per_server.values())
             congestion = max(1.0, concurrent / max(1, psctx.num_servers))
-            cost.net_s += cm.network_time(busiest, congestion)
-            cost.cpu_s += cm.serialization_time(total)
+            method = calls[0][1]
+            tags = {"calls": len(calls), "bytes": int(total)}
+            with task_span(f"ps.{method}", cost, tags):
+                cost.net_s += cm.network_time(busiest, congestion)
+                cost.cpu_s += cm.serialization_time(total)
             metrics = psctx.spark.metrics
             from repro.common.metrics import RPC_BYTES, RPC_CALLS
 
             metrics.inc(RPC_CALLS, len(calls))
             metrics.inc(RPC_BYTES, total)
+            metrics.observe(PS_REQUEST_H, total)
         if tctx is None:
-            psctx.spark.driver_clock.advance(cost.total_s)
+            # Driver-side operation: advance the driver clock and, when
+            # tracing, record the span on the driver's "ps-agent" track.
+            clock = psctx.spark.driver_clock
+            start_s = clock.now_s
+            clock.advance(cost.total_s)
+            tracer = psctx.spark.tracer
+            if calls and tracer.enabled:
+                tracer.add(
+                    "driver", "ps-agent", f"ps.{calls[0][1]}",
+                    start_s, clock.now_s,
+                    {"calls": len(calls), "bytes": int(total)},
+                )
         return results
 
     def _metrics(self):

@@ -72,7 +72,8 @@ class PSContext:
             "ps-server", num_servers, server_mem_bytes
         )
         self.servers: List[PSServer] = [
-            PSServer(i, c, cluster.cost_model, spark.hdfs)
+            PSServer(i, c, cluster.cost_model, spark.hdfs,
+                     tracer=spark.tracer)
             for i, c in enumerate(containers)
         ]
         for server in self.servers:

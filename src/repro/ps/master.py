@@ -78,6 +78,7 @@ class PSMaster:
         dead = self.health_check()
         if not dead:
             return []
+        recovery_start_s = psctx.spark.driver_clock.now_s
         for index in dead:
             server = psctx.servers[index]
             psctx.spark.resource_manager.restart(server.container)
@@ -101,10 +102,18 @@ class PSMaster:
         psctx.clear_pull_caches()
         # Everyone waited for recovery (the paper: other executors are
         # "blocked by the synchronization controller of PS").
-        barrier(
+        end_s = barrier(
             [psctx.spark.driver_clock]
             + [ex.container.clock for ex in psctx.spark.executors if ex.alive]
             + [s.container.clock for s in psctx.servers
                if s.container.alive]
         )
+        tracer = psctx.spark.tracer
+        if tracer.enabled:
+            tracer.add(
+                "driver", "recovery", "ps.recover",
+                recovery_start_s, end_s,
+                {"mode": mode,
+                 "servers": [psctx.servers[i].id for i in dead]},
+            )
         return dead

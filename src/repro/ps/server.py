@@ -21,6 +21,7 @@ from repro.common.costs import CostModel
 from repro.common.errors import PartitionNotFoundError, PSError
 from repro.common.simclock import TaskCost
 from repro.hdfs.filesystem import Hdfs
+from repro.obs.tracer import NOOP_TRACER, NoopTracer
 from repro.ps.meta import MatrixMeta
 from repro.ps.psfunc import PsFunc
 from repro.ps.storage import (
@@ -37,11 +38,13 @@ class PSServer:
     """One parameter-server container and its model partitions."""
 
     def __init__(self, index: int, container: Container,
-                 cost_model: CostModel, hdfs: Hdfs) -> None:
+                 cost_model: CostModel, hdfs: Hdfs,
+                 tracer: NoopTracer = NOOP_TRACER) -> None:
         self.index = index
         self.container = container
         self.cost_model = cost_model
         self.hdfs = hdfs
+        self.tracer = tracer
         self._stores: Dict[Tuple[str, int], Store] = {}
         self._metas: Dict[str, MatrixMeta] = {}
         self._opt_state: Dict[Tuple[str, int], Dict[str, np.ndarray]] = {}
@@ -68,9 +71,21 @@ class PSServer:
             self.container.memory.release(old - new, tag=tag)
         self._charged[key] = new
 
-    def _work(self, flops: float) -> None:
-        """Advance the server clock by compute time."""
+    def _work(self, flops: float, op: str | None = None,
+              matrix: str | None = None) -> None:
+        """Advance the server clock by compute time.
+
+        When ``op`` is given and tracing is on, the compute lands as a
+        span on this server's "ops" track.
+        """
+        start_s = self.container.clock.now_s
         self.container.clock.advance(self.cost_model.flop_time(flops))
+        if op is not None and self.tracer.enabled:
+            self.tracer.add(
+                self.id, "ops", f"ps.{op}",
+                start_s, self.container.clock.now_s,
+                {"matrix": matrix, "flops": flops},
+            )
 
     def _store(self, matrix: str, pid: int) -> Store:
         store = self._stores.get((matrix, pid))
@@ -146,7 +161,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         cols = 1 if col is not None else store.cols
-        self._work(len(keys) * cols)
+        self._work(len(keys) * cols, "pull", matrix)
         return store.get_rows(keys, col)
 
     def push(self, matrix: str, pid: int, keys: np.ndarray,
@@ -155,7 +170,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         store.inc_rows(keys, deltas, col)
-        self._work(np.size(deltas))
+        self._work(np.size(deltas), "push", matrix)
         self._recharge((matrix, pid))
 
     def set(self, matrix: str, pid: int, keys: np.ndarray,
@@ -164,7 +179,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         store.set_rows(keys, values, col)
-        self._work(np.size(values))
+        self._work(np.size(values), "set", matrix)
         self._recharge((matrix, pid))
 
     # ------------------------------------------------------------------
@@ -176,7 +191,8 @@ class PSServer:
         """Local column slice of the requested rows."""
         self.container.ensure_alive()
         store = self._store(matrix, pid)
-        self._work(len(row_keys) * store.array.shape[1])
+        self._work(len(row_keys) * store.array.shape[1],
+                   "pull_slices", matrix)
         return store.get_row_slices(row_keys)
 
     def push_slices(self, matrix: str, pid: int, row_keys: np.ndarray,
@@ -185,7 +201,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         store.inc_row_slices(row_keys, deltas)
-        self._work(deltas.size)
+        self._work(deltas.size, "push_slices", matrix)
 
     def set_slices(self, matrix: str, pid: int, row_keys: np.ndarray,
                    values: np.ndarray) -> None:
@@ -193,7 +209,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         store.set_row_slices(row_keys, values)
-        self._work(values.size)
+        self._work(values.size, "set_slices", matrix)
 
     # ------------------------------------------------------------------
     # neighbor-table operations
@@ -208,7 +224,7 @@ class PSServer:
         for v, t in zip(np.asarray(vertices).tolist(), tables):
             store.append_neighbors(int(v), t)
             n += len(t)
-        self._work(n)
+        self._work(n, "push_neighbors", matrix)
         self._recharge((matrix, pid))
 
     def get_neighbors(self, matrix: str, pid: int,
@@ -217,7 +233,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         out = store.get_neighbors(vertices)
-        self._work(sum(len(t) for t in out))
+        self._work(sum(len(t) for t in out), "get_neighbors", matrix)
         return out
 
     def degrees(self, matrix: str, pid: int,
@@ -225,7 +241,7 @@ class PSServer:
         """Neighbor counts for ``vertices``."""
         self.container.ensure_alive()
         store = self._store(matrix, pid)
-        self._work(len(vertices))
+        self._work(len(vertices), "degrees", matrix)
         return store.degree(vertices)
 
     def compact(self, matrix: str, pid: int) -> None:
@@ -249,7 +265,7 @@ class PSServer:
         self.container.ensure_alive()
         store = self._store(matrix, pid)
         result = func.apply(store)
-        self._work(func.flops(store))
+        self._work(func.flops(store), "psfunc", matrix)
         self._recharge((matrix, pid))
         return result
 
@@ -267,7 +283,8 @@ class PSServer:
         store = self._store(matrix, pid)
         state = self._opt_state[(matrix, pid)]
         meta.optimizer.step(store.array, grad, state)
-        self._work(grad.size * meta.optimizer.flops_per_element())
+        self._work(grad.size * meta.optimizer.flops_per_element(),
+                   "apply_gradients", matrix)
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -284,7 +301,15 @@ class PSServer:
                    "opt": ({k: v.copy() for k, v in opt.items()}
                            if opt is not None else None)}
         f = self.hdfs.write_pickle(path, payload, overwrite=True, cost=cost)
+        start_s = self.container.clock.now_s
         self.container.clock.advance(cost.total_s)
+        if self.tracer.enabled:
+            self.tracer.add(
+                self.id, "ops", "ps.checkpoint",
+                start_s, self.container.clock.now_s,
+                {"matrix": matrix, "partition": pid,
+                 "bytes": f.logical_bytes},
+            )
         return f.logical_bytes
 
     def restore_partition(self, meta: MatrixMeta, pid: int,
@@ -293,7 +318,14 @@ class PSServer:
         self.container.ensure_alive()
         cost = TaskCost()
         payload = self.hdfs.read_pickle(path, cost=cost)
+        start_s = self.container.clock.now_s
         self.container.clock.advance(cost.total_s)
+        if self.tracer.enabled:
+            self.tracer.add(
+                self.id, "ops", "ps.restore",
+                start_s, self.container.clock.now_s,
+                {"matrix": meta.name, "partition": pid},
+            )
         self.create_partition(meta, pid)
         key = (meta.name, pid)
         self._stores[key].restore(payload["store"])

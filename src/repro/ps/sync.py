@@ -51,5 +51,12 @@ class SyncController:
                 s.container.clock for s in self.psctx.servers
                 if s.container.alive
             )
-            return barrier(clocks)
-        return spark.driver_clock.now_s
+            t = barrier(clocks)
+        else:
+            t = spark.driver_clock.now_s
+        if spark.tracer.enabled:
+            spark.tracer.instant(
+                "driver", "iterations", "iteration", t,
+                {"epoch": self.epoch, "mode": self.mode},
+            )
+        return t

@@ -22,6 +22,7 @@ from repro.common.errors import ContainerLostError, ResourceError
 from repro.common.memory import MemoryTracker
 from repro.common.metrics import CONTAINERS_RESTARTED, MetricsRegistry
 from repro.common.simclock import SimClock
+from repro.obs.tracer import NOOP_TRACER, NoopTracer
 
 
 @dataclass
@@ -65,11 +66,14 @@ class ResourceManager:
             dataset scale factor.
         capacity_bytes: optional cluster-wide memory capacity; requests
             beyond it raise :class:`ResourceError`.
+        tracer: sim-time tracer; kills and restarts land on each
+            container's "lifecycle" track.
     """
 
     metrics: MetricsRegistry | None = None
     restart_delay_s: float = 30.0
     capacity_bytes: int | None = None
+    tracer: NoopTracer = NOOP_TRACER
     _granted: int = 0
     _containers: Dict[str, Container] = field(default_factory=dict)
     _seq: "itertools.count[int]" = field(default_factory=itertools.count)
@@ -112,6 +116,11 @@ class ResourceManager:
         """Mark a container dead; its memory contents are lost."""
         container.alive = False
         container.memory.reset()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                container.id, "lifecycle", "killed",
+                container.clock.now_s, {"reason": reason},
+            )
 
     def restart(self, container: Container) -> Container:
         """Restart a dead (or live) container in place.
@@ -125,12 +134,19 @@ class ResourceManager:
             default=container.clock.now_s,
         )
         container.clock.advance_to(max(latest, container.clock.now_s))
+        start_s = container.clock.now_s
         container.clock.advance(self.restart_delay_s)
         container.memory.reset()
         container.alive = True
         container.restarts += 1
         if self.metrics is not None:
             self.metrics.inc(CONTAINERS_RESTARTED)
+        if self.tracer.enabled:
+            self.tracer.add(
+                container.id, "lifecycle", "restart",
+                start_s, container.clock.now_s,
+                {"restarts": container.restarts, "kind": container.kind},
+            )
         return container
 
     def release(self, container: Container) -> None:

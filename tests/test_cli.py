@@ -1,6 +1,5 @@
 """Tests for the command-line submission tool."""
 
-import numpy as np
 import pytest
 
 from repro.cli import ALGORITHMS, build_parser, main, make_algorithm

@@ -4,10 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.config import ClusterConfig
 from repro.common.errors import SimulatedOOMError
 from repro.common.metrics import SHUFFLE_BYTES_WRITTEN, STAGES_RUN
-from repro.dataflow.context import SparkContext
 from repro.dataflow.partitioner import HashPartitioner
 from tests.conftest import make_context
 

@@ -18,7 +18,6 @@ from repro.dataflow.shuffle import (
     ShuffleService,
     next_shuffle_id,
 )
-from repro.dataflow.taskctx import TaskContext
 from tests.conftest import make_context
 
 

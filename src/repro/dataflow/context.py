@@ -10,6 +10,7 @@ server.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, List
 
 from repro.common.config import ClusterConfig
@@ -88,6 +89,19 @@ class SparkContext:
         self.scheduler = DAGScheduler(self)
         self._task_hooks: List[TaskHook] = []
         self._stopped = False
+        # Per-context id streams: shuffle/RDD ids must restart at 0 for
+        # every application so that span tags (e.g. "shuffle-3") are
+        # reproducible across runs in the same process.
+        self._shuffle_ids = itertools.count()
+        self._rdd_ids = itertools.count()
+
+    def next_shuffle_id(self) -> int:
+        """Allocate a shuffle id unique within this context."""
+        return next(self._shuffle_ids)
+
+    def next_rdd_id(self) -> int:
+        """Allocate an RDD id unique within this context."""
+        return next(self._rdd_ids)
 
     # ------------------------------------------------------------------
     # RDD creation

@@ -33,6 +33,7 @@ from typing import (
 )
 
 from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed, make_rng
 from repro.common.sizeof import sizeof_records
 from repro.dataflow.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.dataflow.taskctx import TaskContext
@@ -40,9 +41,6 @@ from repro.dataflow.taskctx import TaskContext
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataflow.context import SparkContext
 
-from repro.dataflow.shuffle import next_shuffle_id
-
-_rdd_ids = itertools.count()
 
 
 class ShuffleDependency:
@@ -63,7 +61,7 @@ class ShuffleDependency:
                  ) -> None:
         self.parent = parent
         self.partitioner = partitioner
-        self.shuffle_id = next_shuffle_id()
+        self.shuffle_id = parent.ctx.next_shuffle_id()
         self.map_side_combine = map_side_combine
 
 
@@ -77,7 +75,7 @@ class RDD:
         if num_partitions <= 0:
             raise ConfigError("RDD must have at least one partition")
         self.ctx = ctx
-        self.id = next(_rdd_ids)
+        self.id = ctx.next_rdd_id()
         self.num_partitions = num_partitions
         self.narrow_parents = narrow_parents or []
         self.shuffle_deps = shuffle_deps or []
@@ -233,11 +231,14 @@ class RDD:
         return UnionRDD(self.ctx, [self, other])
 
     def sample(self, fraction: float, seed: int = 7) -> "RDD":
-        """Bernoulli sample of records with probability ``fraction``."""
-        import random
+        """Bernoulli sample of records with probability ``fraction``.
 
+        Each partition draws from its own seeded stream (derived from
+        ``seed`` and the partition id), so a recomputed partition — e.g.
+        after an executor failure — resamples the identical subset.
+        """
         def sampler(i: int, it: Iterator[Any]) -> Iterator[Any]:
-            rng = random.Random(seed * 1000003 + i)
+            rng = make_rng(derive_seed(seed, "rdd-sample", i))
             return (x for x in it if rng.random() < fraction)
 
         return MapPartitionsRDD(self, sampler, preserves_partitioning=True)
@@ -277,7 +278,9 @@ class RDD:
         return ShuffledRDD(
             paired, HashPartitioner(self.num_partitions),
             map_side_combine=(lambda v: None, lambda a, _b: a),
-            post=lambda pairs: iter({k for k, _v in pairs}),
+            # dict.fromkeys dedups in arrival order; a set here would leak
+            # hash order into the output sequence (repro-lint SIM004).
+            post=lambda pairs: iter(dict.fromkeys(k for k, _v in pairs)),
         )
 
     def intersection(self, other: "RDD") -> "RDD":

@@ -9,6 +9,9 @@ reported number for side-by-side comparison.  An ``OOM`` status mirrors the
 
 from __future__ import annotations
 
+# Experiments report the *host* runtime of the simulation alongside
+# sim-time, so reading the wall clock here is the whole point.
+# repro-lint: disable-file=SIM001
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple

@@ -6,6 +6,10 @@ distributed open-source baseline existed, so the paper reports PSGraph
 alone; so do we.)
 """
 
+# Wall-clock timing is part of what these experiments report (host runtime
+# of the simulation next to sim-time).
+# repro-lint: disable-file=SIM001
+
 from __future__ import annotations
 
 from typing import List

@@ -14,6 +14,10 @@ two-layer GraphSage with k=2-hop sampling on the DS3 stand-in, so the
 accuracy comparison is apples-to-apples.
 """
 
+# Wall-clock timing is part of what these experiments report (host runtime
+# of the simulation next to sim-time).
+# repro-lint: disable-file=SIM001
+
 from __future__ import annotations
 
 from typing import Dict, List

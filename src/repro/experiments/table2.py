@@ -17,6 +17,10 @@ re-read from HDFS), the server path exercises the PS master's health-check
 the server via Yarn and restores the neighbor-table partitions).
 """
 
+# Wall-clock timing is part of what these experiments report (host runtime
+# of the simulation next to sim-time).
+# repro-lint: disable-file=SIM001
+
 from __future__ import annotations
 
 from typing import Dict, List, Optional

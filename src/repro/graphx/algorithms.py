@@ -23,7 +23,6 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.common.sizeof import sizeof_records
-from repro.dataflow.shuffle import next_shuffle_id
 from repro.dataflow.taskctx import TaskContext
 from repro.graphx.graph import Graph
 from repro.graphx.pregel import pregel
@@ -182,8 +181,8 @@ def _collect_neighbor_values(graph: Graph
     """
     ctx = graph.ctx
     cm = ctx.cluster.cost_model
-    ship_id = next_shuffle_id()
-    msg_id = next_shuffle_id()
+    ship_id = ctx.next_shuffle_id()
+    msg_id = ctx.next_shuffle_id()
     p_v = graph.num_vertex_partitions
     p_e = graph.num_edge_partitions
 
@@ -273,7 +272,7 @@ def canonical_graph(graph: Graph) -> Graph:
     """
     ctx = graph.ctx
     cm = ctx.cluster.cost_model
-    shuffle_id = next_shuffle_id()
+    shuffle_id = ctx.next_shuffle_id()
     p = graph.num_edge_partitions
 
     def emit(ep: int, tctx: TaskContext) -> None:
@@ -322,7 +321,7 @@ def attach_neighbor_sets(graph: Graph) -> None:
     """
     ctx = graph.ctx
     cm = ctx.cluster.cost_model
-    shuffle_id = next_shuffle_id()
+    shuffle_id = ctx.next_shuffle_id()
     p_v = graph.num_vertex_partitions
     p_e = graph.num_edge_partitions
 

@@ -16,7 +16,6 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.dataflow.context import SparkContext
-from repro.dataflow.shuffle import next_shuffle_id
 from repro.dataflow.taskctx import TaskContext
 
 
@@ -94,8 +93,8 @@ def _one_pass(ctx: SparkContext, src: np.ndarray, dst: np.ndarray,
         com_tot = _community_totals(ctx, vparts, p, cm)
 
         # --- shuffle 2+3: ship attrs, emit (neighbor com, w) collects ---
-        ship_id = next_shuffle_id()
-        msg_id = next_shuffle_id()
+        ship_id = ctx.next_shuffle_id()
+        msg_id = ctx.next_shuffle_id()
 
         def ship(vp: int, tctx: TaskContext) -> None:
             part = vparts[vp]
@@ -217,7 +216,7 @@ def _one_pass(ctx: SparkContext, src: np.ndarray, dst: np.ndarray,
 def _community_totals(ctx: SparkContext, vparts: List[dict], p: int,
                       cm) -> Dict[float, float]:
     """groupBy(community).sum(k) + driver collect + broadcast."""
-    shuffle_id = next_shuffle_id()
+    shuffle_id = ctx.next_shuffle_id()
 
     def emit(vp: int, tctx: TaskContext) -> None:
         part = vparts[vp]

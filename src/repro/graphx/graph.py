@@ -29,7 +29,6 @@ import numpy as np
 from repro.common.errors import GraphLoadError
 from repro.common.sizeof import sizeof_records
 from repro.dataflow.context import SparkContext
-from repro.dataflow.shuffle import next_shuffle_id
 from repro.dataflow.taskctx import TaskContext
 
 #: A message send function: ``send(src, dst, src_attr, dst_attr)`` over one
@@ -218,8 +217,8 @@ class Graph:
         """
         ctx = self.ctx
         cm = ctx.cluster.cost_model
-        ship_id = next_shuffle_id()
-        msg_id = next_shuffle_id()
+        ship_id = ctx.next_shuffle_id()
+        msg_id = ctx.next_shuffle_id()
         p_e = self.num_edge_partitions
         p_v = self.num_vertex_partitions
 

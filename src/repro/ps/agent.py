@@ -85,11 +85,16 @@ class PSAgent:
             ep = rpc.endpoint(endpoint)
             return getattr(ep.handler, method)(*args)
 
-    def _group_call(self, calls: Sequence[Call]) -> List[Any]:
+    def _group_call(self, calls: Sequence[Call],
+                    col: int | None = None) -> List[Any]:
         """Issue requests concurrently; charge the caller once.
 
         Time charged = one latency + (bytes of the busiest server) x
         congestion / bandwidth; CPU charged for serializing everything.
+
+        The recorded span is tagged with the matrix (and, for column-
+        scoped row ops, the column) so the staleness detector in
+        :mod:`repro.lint.races` can attribute each access to a location.
         """
         psctx = self.psctx
         cm = psctx.spark.cluster.cost_model
@@ -107,11 +112,18 @@ class PSAgent:
             nbytes = req_bytes + resp_bytes
             per_server[server_index] += nbytes
             total += nbytes
+        tags: dict = {}
         if calls:
             busiest = max(per_server.values())
             congestion = max(1.0, concurrent / max(1, psctx.num_servers))
             method = calls[0][1]
             tags = {"calls": len(calls), "bytes": int(total)}
+            # Every server method's first argument is the matrix name.
+            matrix = calls[0][2][0] if calls[0][2] else None
+            if isinstance(matrix, str):
+                tags["matrix"] = matrix
+            if col is not None:
+                tags["col"] = int(col)
             with task_span(f"ps.{method}", cost, tags):
                 cost.net_s += cm.network_time(busiest, congestion)
                 cost.cpu_s += cm.serialization_time(total)
@@ -131,8 +143,7 @@ class PSAgent:
             if calls and tracer.enabled:
                 tracer.add(
                     "driver", "ps-agent", f"ps.{calls[0][1]}",
-                    start_s, clock.now_s,
-                    {"calls": len(calls), "bytes": int(total)},
+                    start_s, clock.now_s, tags,
                 )
         return results
 
@@ -195,7 +206,7 @@ class PSAgent:
                 int(subkeys.nbytes),
                 lambda v: int(v.nbytes),
             ))
-        results = self._group_call(calls)
+        results = self._group_call(calls, col=col)
         nbytes = 0
         for mask, values in zip(masks, results):
             out[mask] = values
@@ -233,7 +244,7 @@ class PSAgent:
                 int(subkeys.nbytes + subvalues.nbytes),
                 0,
             ))
-        self._group_call(calls)
+        self._group_call(calls, col=col)
         self._metrics().inc(PS_PUSHES)
         self._metrics().inc(
             PS_PUSH_BYTES, int(keys.nbytes + values.nbytes)

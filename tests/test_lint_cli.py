@@ -1,0 +1,45 @@
+"""CLI surface of ``python -m repro.lint`` / ``repro-lint``."""
+
+import json
+
+from repro.lint.cli import main
+
+
+def test_list_rules_exits_zero(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+        assert rule_id in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "ps"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_violations_exit_one_and_json(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "ps"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+    assert main([str(tmp_path), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["violations"][0]["rule"] == "SIM001"
+
+
+def test_disable_silences_rule(tmp_path):
+    pkg = tmp_path / "repro" / "ps"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+    assert main([str(tmp_path), "--disable", "SIM001"]) == 0
+
+
+def test_unknown_rule_is_usage_error(tmp_path):
+    assert main([str(tmp_path), "--enable", "SIM999"]) == 2
+
+
+def test_missing_path_is_usage_error():
+    assert main(["definitely/not/here"]) == 2

@@ -1,0 +1,1 @@
+"""Micro-benchmarks for the columnar hot path (boxed vs batched)."""

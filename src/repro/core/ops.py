@@ -12,6 +12,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.common.batch import split_indices
 from repro.core.blocks import EdgeBlock, NeighborBlock, build_neighbor_block
 from repro.dataflow.context import SparkContext
 from repro.dataflow.partitioner import HashPartitioner
@@ -122,12 +123,11 @@ def to_neighbor_tables(edges: RDD, num_partitions: int | None = None, *,
                 directions.append((block.dst, block.src, w))
             for targets, others, ws in directions:
                 pids = (targets % p).astype(np.int64)
-                for pid in np.unique(pids):
-                    mask = pids == pid
+                for pid, idx in split_indices(pids):
                     yield (
-                        int(pid),
-                        EdgeBlock(targets[mask], others[mask],
-                                  ws[mask] if ws is not None else None),
+                        pid,
+                        EdgeBlock(targets[idx], others[idx],
+                                  ws[idx] if ws is not None else None),
                     )
 
     shuffled = edges.map_partitions(emit).partition_by(partitioner)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterable, List
 
+import numpy as np
+
 from repro.common.config import ClusterConfig
 from repro.common.metrics import MetricsRegistry
 from repro.common.simclock import SimClock, barrier
@@ -113,6 +115,28 @@ class SparkContext:
         data = list(data)
         n = num_partitions or min(self.cluster.parallelism, max(1, len(data)))
         return ParallelCollectionRDD(self, data, max(1, n))
+
+    def parallelize_batches(self, keys: Any, values: Any,
+                            num_partitions: int | None = None) -> RDD:
+        """Distribute aligned key/value columns as one RecordBatch per
+        partition.
+
+        Carries exactly the records ``parallelize(list(zip(keys, values)),
+        n)`` would place in each partition (the same ``[i::n]`` slices, in
+        the same order) but keeps them columnar, so the shuffle and
+        reduce-by-key hot paths run vectorized.
+        """
+        from repro.common.batch import RecordBatch
+
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        n = num_partitions or min(self.cluster.parallelism, max(1, len(keys)))
+        n = max(1, n)
+        batches = [
+            RecordBatch(keys[i::n].copy(), values[i::n].copy())
+            for i in range(n)
+        ]
+        return ParallelCollectionRDD(self, batches, n)
 
     def range(self, n: int, num_partitions: int | None = None) -> RDD:
         """RDD of ``0 .. n-1``."""

@@ -32,9 +32,17 @@ from typing import (
     Tuple,
 )
 
+from repro.common.batch import (
+    COMBINE_FNS,
+    COMBINE_UFUNCS,
+    RecordBatch,
+    explode_records,
+    iter_records,
+    records_nbytes,
+    segment_reduce,
+)
 from repro.common.errors import ConfigError
 from repro.common.rng import derive_seed, make_rng
-from repro.common.sizeof import sizeof_records
 from repro.dataflow.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.dataflow.taskctx import TaskContext
 
@@ -53,16 +61,21 @@ class ShuffleDependency:
         map_side_combine: optional ``(create, merge)`` pair applied inside
             each map task to pre-aggregate values per key before writing,
             which is how ``reduceByKey`` moves fewer bytes than ``groupByKey``.
+        combine_op: optional name ("add"/"min"/"max") declaring that
+            ``map_side_combine`` is that numeric op with an identity
+            ``create``; columnar partitions then combine as a vectorized
+            segment-reduce instead of the per-record fold.
     """
 
     def __init__(self, parent: "RDD", partitioner: Partitioner,
                  map_side_combine: Tuple[Callable[[Any], Any],
-                                         Callable[[Any, Any], Any]] | None = None
-                 ) -> None:
+                                         Callable[[Any, Any], Any]] | None = None,
+                 combine_op: str | None = None) -> None:
         self.parent = parent
         self.partitioner = partitioner
         self.shuffle_id = parent.ctx.next_shuffle_id()
         self.map_side_combine = map_side_combine
+        self.combine_op = combine_op
 
 
 class RDD:
@@ -219,6 +232,39 @@ class RDD:
             preserves_partitioning=True,
         )
 
+    def as_records(self) -> "RDD":
+        """Explode columnar batches into boxed ``(key, value)`` pairs.
+
+        Record-at-a-time operators (``map``, ``map_values``, ...) do not
+        understand :class:`~repro.common.batch.RecordBatch` partition
+        elements; call this first when mixing them with a batched
+        pipeline.  Downstream metering then charges boxed rates — correct,
+        because the data *is* boxed from here on.
+        """
+        return MapPartitionsRDD(
+            self, lambda _i, it: iter_records(it),
+            preserves_partitioning=True,
+        )
+
+    def to_batches(self) -> "RDD":
+        """Collapse each partition's pair records into one columnar batch.
+
+        Partitions whose keys are not numeric or whose values numpy cannot
+        hold pass through unchanged (the boxed fallback).
+        """
+        def collapse(_i: int, it: Iterator[Any]) -> Iterator[Any]:
+            items = list(it)
+            if not items:
+                return iter(())
+            try:
+                if all(isinstance(x, RecordBatch) for x in items):
+                    return iter([RecordBatch.concat(items)])
+                return iter([RecordBatch.from_pairs(iter_records(items))])
+            except (ValueError, TypeError):
+                return iter(items)
+
+        return MapPartitionsRDD(self, collapse, preserves_partitioning=True)
+
     def flat_map_values(self, f: Callable[[Any], Iterable[Any]]) -> "RDD":
         """Expand each pair value into several pairs with the same key."""
         return MapPartitionsRDD(
@@ -342,14 +388,33 @@ class RDD:
         """Group records by ``f(record)``."""
         return self.key_by(f).group_by_key(num_partitions)
 
-    def reduce_by_key(self, f: Callable[[Any, Any], Any],
-                      num_partitions: int | None = None) -> "RDD":
-        """Merge values per key with ``f``, combining map-side."""
+    def reduce_by_key(self, f: Callable[[Any, Any], Any] | None = None,
+                      num_partitions: int | None = None,
+                      op: str | None = None) -> "RDD":
+        """Merge values per key with ``f``, combining map-side.
+
+        Passing ``op`` ("add"/"min"/"max") instead of — or alongside —
+        ``f`` declares the reduction as a known numeric op: columnar
+        partitions then aggregate with a vectorized segment-reduce on both
+        sides of the shuffle, while boxed partitions use the equivalent
+        scalar fold.  Simulated costs are identical either way.
+        """
+        if op is not None:
+            if op not in COMBINE_FNS:
+                raise ConfigError(
+                    f"unknown reduce op {op!r}; known: "
+                    f"{', '.join(sorted(COMBINE_FNS))}"
+                )
+            if f is None:
+                f = COMBINE_FNS[op]
+        elif f is None:
+            raise ConfigError("reduce_by_key needs a function or an op name")
         p = self._target_partitioner(num_partitions)
         return ShuffledRDD(
             self, p,
             map_side_combine=(lambda v: v, f),
             post=lambda pairs: iter(_reduce_pairs(pairs, f).items()),
+            combine_op=op,
         )
 
     def fold_by_key(self, zero: Any, f: Callable[[Any, Any], Any],
@@ -484,13 +549,17 @@ class RDD:
         out: List[Any] = []
         for p in parts:
             out.extend(p)
-        self.ctx.charge_driver_result(sizeof_records(out))
+        self.ctx.charge_driver_result(records_nbytes(out))
         return out
+
+    def collect_records(self) -> List[Any]:
+        """Like :meth:`collect` but with batches exploded to boxed pairs."""
+        return explode_records(self.collect())
 
     def collect_partitions(self) -> List[List[Any]]:
         """Materialize records, one list per partition."""
         parts = self.ctx.scheduler.run_job(self, lambda _i, it: list(it))
-        self.ctx.charge_driver_result(sum(sizeof_records(p) for p in parts))
+        self.ctx.charge_driver_result(sum(records_nbytes(p) for p in parts))
         return parts
 
     def count(self) -> int:
@@ -795,9 +864,10 @@ class ShuffledRDD(RDD):
     def __init__(self, parent: RDD, partitioner: Partitioner,
                  map_side_combine: Tuple[Callable[[Any], Any],
                                          Callable[[Any, Any], Any]] | None = None,
-                 post: Callable[[List[Tuple[Any, Any]]], Iterator[Any]] | None = None
-                 ) -> None:
-        dep = ShuffleDependency(parent, partitioner, map_side_combine)
+                 post: Callable[[List[Tuple[Any, Any]]], Iterator[Any]] | None = None,
+                 combine_op: str | None = None) -> None:
+        dep = ShuffleDependency(parent, partitioner, map_side_combine,
+                                combine_op=combine_op)
         super().__init__(
             parent.ctx, partitioner.num_partitions, shuffle_deps=[dep],
             partitioner=partitioner,
@@ -813,11 +883,21 @@ class ShuffledRDD(RDD):
         if self._post is None:
             return iter(pairs)
         cm = self.ctx.cluster.cost_model
-        temp_bytes = int(sizeof_records(pairs) * cm.jvm_object_overhead)
+        temp_bytes = int(records_nbytes(pairs) * cm.jvm_object_overhead)
         tag = f"shuffle-agg:{self.id}:{split}"
         tctx.executor.container.memory.allocate(temp_bytes, tag=tag)
         try:
-            out = list(self._post(pairs))
+            op = self._dep.combine_op
+            if (op in COMBINE_UFUNCS and pairs
+                    and all(isinstance(b, RecordBatch) and b.is_columnar
+                            for b in pairs)):
+                # Columnar fast path: the reduce-side fold collapses to one
+                # segment-reduce over the fetched batches; emits one batch.
+                merged = RecordBatch.concat(pairs)
+                keys, values = segment_reduce(merged.keys, merged.values, op)
+                out: List[Any] = [RecordBatch(keys, values)]
+            else:
+                out = list(self._post(explode_records(pairs)))
         finally:
             tctx.executor.container.memory.release_tag(tag)
         return iter(out)
@@ -870,11 +950,11 @@ class CoGroupedRDD(RDD):
                     source.shuffle_id, split, source.parent.num_partitions,
                     tctx.executor, tctx.cost, self.ctx.live_executor_map(),
                 )
-            fetched.append(pairs)
+            fetched.append(explode_records(pairs))
 
         cm = self.ctx.cluster.cost_model
         temp_bytes = int(
-            sum(sizeof_records(p) for p in fetched) * cm.jvm_object_overhead
+            sum(records_nbytes(p) for p in fetched) * cm.jvm_object_overhead
         )
         tag = f"cogroup:{self.id}:{split}"
         tctx.executor.container.memory.allocate(temp_bytes, tag=tag)

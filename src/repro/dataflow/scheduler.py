@@ -26,7 +26,7 @@ from repro.common.metrics import (
     TASKS_LAUNCHED,
 )
 from repro.common.simclock import barrier
-from repro.dataflow.shuffle import ShuffleOutputLostError
+from repro.dataflow.shuffle import ShuffleOutputLostError, bucket_map_output
 from repro.dataflow.taskctx import TaskContext, metered, task_scope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -114,27 +114,15 @@ class DAGScheduler:
     def _write_map_output(self, dep: "ShuffleDependency", mp: int,
                           tctx: TaskContext) -> None:
         cm = self.ctx.cluster.cost_model
-        records = metered(
+        records = list(metered(
             dep.parent.iterator(mp, tctx), tctx.cost, cm.cpu_record_s,
             trace_name="map-input",
+        ))
+        buckets = bucket_map_output(
+            records, dep.partitioner, dep.map_side_combine, dep.combine_op
         )
-        buckets: Dict[int, List[Any]] = defaultdict(list)
-        part = dep.partitioner
-        if dep.map_side_combine is not None:
-            create, merge = dep.map_side_combine
-            combined: Dict[Any, Any] = {}
-            for k, v in records:
-                if k in combined:
-                    combined[k] = merge(combined[k], v)
-                else:
-                    combined[k] = create(v)
-            for k, v in combined.items():
-                buckets[part.partition(k)].append((k, v))
-        else:
-            for k, v in records:
-                buckets[part.partition(k)].append((k, v))
         self.ctx.shuffle_service.write(
-            dep.shuffle_id, mp, tctx.executor, dict(buckets), tctx.cost
+            dep.shuffle_id, mp, tctx.executor, buckets, tctx.cost
         )
 
     def _recompute_shuffle(self, shuffle_id: int) -> None:

@@ -15,10 +15,17 @@ path exercised by Table II.
 
 from __future__ import annotations
 
-import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.common.batch import (
+    COMBINE_UFUNCS,
+    RecordBatch,
+    iter_records,
+    segment_reduce,
+    split_batch,
+)
 from repro.common.costs import CostModel
 from repro.common.errors import PSGraphError
 from repro.common.metrics import (
@@ -34,13 +41,57 @@ from repro.common.sizeof import sizeof_records
 from repro.dataflow.executor import Executor
 from repro.dataflow.taskctx import task_span
 
+# Shuffle-id allocation lives on SparkContext (``ctx.next_shuffle_id()``)
+# so restarted contexts never drift; no module-global counter here.
 
-_shuffle_ids = itertools.count()
+#: One reduce bucket: a boxed record list or a columnar batch.
+Bucket = Any
 
 
-def next_shuffle_id() -> int:
-    """Allocate a fresh shuffle id (shared by RDD and GraphX shuffles)."""
-    return next(_shuffle_ids)
+def bucket_map_output(
+    records: List[Any],
+    partitioner: Any,
+    map_side_combine: Optional[Tuple[Callable, Callable]] = None,
+    combine_op: Optional[str] = None,
+) -> Dict[int, Bucket]:
+    """Bucket one map task's records by reduce partition.
+
+    When the partition consists entirely of columnar
+    :class:`~repro.common.batch.RecordBatch` elements — and any requested
+    map-side combine is one of the known numeric ops — bucketing runs
+    vectorized: a segment-reduce for the combine, ``partition_array`` on
+    the key column, and one stable argsort to split rows into per-bucket
+    batches.  Anything else takes the boxed per-record loop (batches are
+    exploded to pairs first), which is byte- and order-equivalent.
+    """
+    vectorizable = bool(records) and all(
+        isinstance(r, RecordBatch) and r.is_columnar for r in records
+    )
+    if vectorizable and (map_side_combine is None
+                         or combine_op in COMBINE_UFUNCS):
+        merged = RecordBatch.concat(records)
+        keys, values = merged.keys, merged.values
+        if map_side_combine is not None:
+            keys, values = segment_reduce(keys, values, combine_op)
+        pids = partitioner.partition_array(keys)
+        return split_batch(keys, values, pids)
+
+    buckets: Dict[int, List[Any]] = defaultdict(list)
+    stream = iter_records(records)
+    if map_side_combine is not None:
+        create, merge = map_side_combine
+        combined: Dict[Any, Any] = {}
+        for k, v in stream:
+            if k in combined:
+                combined[k] = merge(combined[k], v)
+            else:
+                combined[k] = create(v)
+        for k, v in combined.items():
+            buckets[partitioner.partition(k)].append((k, v))
+    else:
+        for k, v in stream:
+            buckets[partitioner.partition(k)].append((k, v))
+    return dict(buckets)
 
 
 class ShuffleOutputLostError(PSGraphError):
@@ -59,7 +110,7 @@ class MapOutput:
     """Bucketed output of one map task."""
 
     owner: str  # executor id that holds the files
-    buckets: Dict[int, List[Any]]
+    buckets: Dict[int, Bucket]
     bucket_bytes: Dict[int, int]
     records: int
 
@@ -75,7 +126,7 @@ class ShuffleService:
     # -- map side ----------------------------------------------------------
 
     def write(self, shuffle_id: int, map_partition: int, executor: Executor,
-              buckets: Dict[int, List[Any]], cost: TaskCost) -> MapOutput:
+              buckets: Dict[int, Bucket], cost: TaskCost) -> MapOutput:
         """Store one map task's bucketed output, charging the writer.
 
         The writer pays: per-bucket serialization CPU, a transient in-memory
@@ -134,14 +185,17 @@ class ShuffleService:
             if out is None or not live_executors.get(out.owner, False):
                 raise ShuffleOutputLostError(shuffle_id, mp)
             bucket = out.buckets.get(reduce_partition)
-            if not bucket:
+            if bucket is None or len(bucket) == 0:
                 continue
             nbytes = out.bucket_bytes.get(reduce_partition, 0)
             if out.owner == executor.id:
                 local_bytes += nbytes
             else:
                 remote_bytes += nbytes
-            records.extend(bucket)
+            if isinstance(bucket, RecordBatch):
+                records.append(bucket)
+            else:
+                records.extend(bucket)
         total = local_bytes + remote_bytes
         with task_span("shuffle.fetch", cost,
                        {"shuffle": shuffle_id, "reduce": reduce_partition,

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.common.batch import segment_reduce, split_indices
 from repro.common.errors import GraphLoadError
 from repro.common.sizeof import sizeof_records
 from repro.dataflow.context import SparkContext
@@ -280,18 +281,17 @@ class Graph:
                     dst_attr = [rep_attrs[i] for i in di]
                 outputs = send(es, ed, src_attr, dst_attr)
                 buckets: Dict[int, List[Any]] = {}
+                # One stable argsort replaces the per-pid boolean-mask
+                # scan; same pids in the same order, O(n log n) total.
                 for targets, msgs in outputs:
                     pids = targets % p_v
-                    for pid in np.unique(pids):
-                        mask = pids == pid
-                        bucket = buckets.setdefault(int(pid), [])
-                        bucket.append(targets[mask])
+                    for pid, idx in split_indices(pids):
+                        bucket = buckets.setdefault(pid, [])
+                        bucket.append(targets[idx])
                         if isinstance(msgs, np.ndarray):
-                            bucket.append(msgs[mask])
+                            bucket.append(msgs[idx])
                         else:
-                            bucket.append(
-                                [msgs[i] for i in np.flatnonzero(mask)]
-                            )
+                            bucket.append([msgs[i] for i in idx.tolist()])
                 tctx.cost.cpu_s += cm.compute_time(len(es))
                 ctx.shuffle_service.write(
                     msg_id, ep, tctx.executor, buckets, tctx.cost
@@ -321,16 +321,17 @@ class Graph:
             tag = f"graphx-msgtable:{vp}"
             tctx.executor.container.memory.allocate(temp, tag=tag)
             try:
-                uids, inverse = np.unique(targets, return_inverse=True)
+                # segment_reduce sorts once and folds with ufunc.reduceat —
+                # far faster than the unbuffered ufunc.at scatter it
+                # replaces; min/max keep their float64 output contract.
                 if reduce_op == "sum":
-                    out = np.zeros(len(uids), dtype=msgs.dtype)
-                    np.add.at(out, inverse, msgs)
+                    uids, out = segment_reduce(targets, msgs, "add")
                 elif reduce_op == "min":
-                    out = np.full(len(uids), np.inf, dtype=np.float64)
-                    np.minimum.at(out, inverse, msgs.astype(np.float64))
+                    uids, out = segment_reduce(
+                        targets, msgs.astype(np.float64), "min")
                 elif reduce_op == "max":
-                    out = np.full(len(uids), -np.inf, dtype=np.float64)
-                    np.maximum.at(out, inverse, msgs.astype(np.float64))
+                    uids, out = segment_reduce(
+                        targets, msgs.astype(np.float64), "max")
                 else:
                     raise ValueError(f"unknown reduce_op {reduce_op!r}")
                 tctx.cost.cpu_s += cm.compute_time(len(targets))

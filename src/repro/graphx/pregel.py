@@ -40,9 +40,12 @@ def pregel(graph: Graph, initial: Callable[[np.ndarray], np.ndarray],
     iterations = 0
     for _ in range(max_iterations):
         messages = graph.aggregate_messages(send, reduce_op)
-        before: List[np.ndarray] = [
-            np.asarray(vp.attrs).copy() for vp in graph.vertex_parts
-        ]
+        # Snapshot attrs only when the convergence check will read them;
+        # with tol=0 the copy is pure host-side overhead per superstep.
+        before: List[np.ndarray] = (
+            [np.asarray(vp.attrs).copy() for vp in graph.vertex_parts]
+            if tol > 0.0 else []
+        )
         graph.join_messages(messages, vprog)
         iterations += 1
         if tol > 0.0:

@@ -42,6 +42,7 @@ from repro.common.metrics import (
     PS_PUSHES,
     PS_REQUEST_H,
 )
+from repro.common.batch import RecordBatch, split_indices
 from repro.common.simclock import TaskCost
 from repro.common.sizeof import sizeof
 from repro.dataflow.taskctx import current_task_context, task_span
@@ -193,23 +194,21 @@ class PSAgent:
                            col: int | None, out: np.ndarray) -> np.ndarray:
         """The uncached server fetch for unique ``ukeys``; fills ``out``."""
         pids = meta.partitioner.partition_array(ukeys)
-        order = np.unique(pids)
         calls: List[Call] = []
-        masks = []
-        for pid in order:
-            mask = pids == pid
-            subkeys = ukeys[mask]
-            masks.append(mask)
+        index_sets = []
+        for pid, idx in split_indices(pids):
+            subkeys = ukeys[idx]
+            index_sets.append(idx)
             calls.append((
-                meta.server_of(int(pid)), "pull",
-                (meta.name, int(pid), subkeys, col),
+                meta.server_of(pid), "pull",
+                (meta.name, pid, subkeys, col),
                 int(subkeys.nbytes),
                 lambda v: int(v.nbytes),
             ))
         results = self._group_call(calls, col=col)
         nbytes = 0
-        for mask, values in zip(masks, results):
-            out[mask] = values
+        for idx, values in zip(index_sets, results):
+            out[idx] = values
             nbytes += int(values.nbytes)
         self._metrics().inc(PS_PULLS)
         self._metrics().inc(PS_PULL_BYTES, nbytes + int(ukeys.nbytes))
@@ -225,6 +224,30 @@ class PSAgent:
         """Overwrite rows for ``keys`` with ``values``."""
         self._write(meta, keys, values, col, "set")
 
+    # -- columnar batch views ----------------------------------------------
+
+    def pull_batch(self, meta: MatrixMeta, keys: np.ndarray,
+                   col: int | None = None) -> RecordBatch:
+        """Pull rows for ``keys`` as one columnar RecordBatch.
+
+        Same server calls, metering and cache interaction as :meth:`pull`;
+        the result keeps keys and values aligned in primitive arrays so a
+        dataflow partition can carry it directly — the paper's
+        pull-in-primitive-arrays path, end to end.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        return RecordBatch(keys, self.pull(meta, keys, col))
+
+    def push_batch(self, meta: MatrixMeta, batch: RecordBatch,
+                   col: int | None = None) -> None:
+        """Increment rows keyed by ``batch.keys`` by its value column."""
+        self.push(meta, batch.keys, batch.values, col)
+
+    def set_batch(self, meta: MatrixMeta, batch: RecordBatch,
+                  col: int | None = None) -> None:
+        """Overwrite rows keyed by ``batch.keys`` with its value column."""
+        self.set(meta, batch.keys, batch.values, col)
+
     def _write(self, meta: MatrixMeta, keys: np.ndarray,
                values: np.ndarray, col: int | None, method: str) -> None:
         keys = np.asarray(keys, dtype=np.int64)
@@ -234,13 +257,12 @@ class PSAgent:
         values = np.asarray(values, dtype=meta.dtype)
         pids = meta.partitioner.partition_array(keys)
         calls: List[Call] = []
-        for pid in np.unique(pids):
-            mask = pids == pid
-            subkeys = keys[mask]
-            subvalues = values[mask]
+        for pid, idx in split_indices(pids):
+            subkeys = keys[idx]
+            subvalues = values[idx]
             calls.append((
-                meta.server_of(int(pid)), method,
-                (meta.name, int(pid), subkeys, subvalues, col),
+                meta.server_of(pid), method,
+                (meta.name, pid, subkeys, subvalues, col),
                 int(subkeys.nbytes + subvalues.nbytes),
                 0,
             ))

@@ -13,11 +13,7 @@ from repro.common.metrics import (
 )
 from repro.common.simclock import TaskCost
 from repro.dataflow.context import SparkContext
-from repro.dataflow.shuffle import (
-    ShuffleOutputLostError,
-    ShuffleService,
-    next_shuffle_id,
-)
+from repro.dataflow.shuffle import ShuffleOutputLostError, ShuffleService
 from tests.conftest import make_context
 
 
@@ -29,7 +25,7 @@ class TestShuffleService:
     def test_write_read_roundtrip(self):
         ctx, svc = self._service_and_executors()
         try:
-            sid = next_shuffle_id()
+            sid = ctx.next_shuffle_id()
             cost = TaskCost()
             svc.write(sid, 0, ctx.executors[0],
                       {0: [("a", 1)], 1: [("b", 2)]}, cost)
@@ -43,7 +39,7 @@ class TestShuffleService:
     def test_read_missing_output_raises(self):
         ctx, svc = self._service_and_executors()
         try:
-            sid = next_shuffle_id()
+            sid = ctx.next_shuffle_id()
             svc.write(sid, 0, ctx.executors[0], {0: [(1, 1)]}, TaskCost())
             with pytest.raises(ShuffleOutputLostError):
                 svc.read(sid, 0, 2, ctx.executors[0], TaskCost(),
@@ -54,7 +50,7 @@ class TestShuffleService:
     def test_dead_owner_invalidates(self):
         ctx, svc = self._service_and_executors()
         try:
-            sid = next_shuffle_id()
+            sid = ctx.next_shuffle_id()
             svc.write(sid, 0, ctx.executors[1], {0: [(1, 1)]}, TaskCost())
             live = ctx.live_executor_map()
             assert svc.has_output(sid, 0, live)
@@ -68,7 +64,7 @@ class TestShuffleService:
     def test_invalidate_executor_drops_outputs(self):
         ctx, svc = self._service_and_executors()
         try:
-            sid = next_shuffle_id()
+            sid = ctx.next_shuffle_id()
             svc.write(sid, 0, ctx.executors[0], {0: [(1, 1)]}, TaskCost())
             svc.write(sid, 1, ctx.executors[1], {0: [(2, 2)]}, TaskCost())
             assert svc.invalidate_executor(ctx.executors[0].id) == 1
@@ -80,7 +76,7 @@ class TestShuffleService:
     def test_remote_fraction_charges_network(self):
         ctx, svc = self._service_and_executors()
         try:
-            sid = next_shuffle_id()
+            sid = ctx.next_shuffle_id()
             payload = {0: [(i, i) for i in range(100)]}
             svc.write(sid, 0, ctx.executors[1], dict(payload), TaskCost())
             local = TaskCost()
@@ -100,7 +96,7 @@ class TestShuffleService:
         try:
             svc = ShuffleService(cm)
             big = {0: [np.zeros(5000)]}  # 40KB logical > capacity
-            svc.write(next_shuffle_id(), 0, ctx.executors[0], big,
+            svc.write(ctx.next_shuffle_id(), 0, ctx.executors[0], big,
                       TaskCost())  # must not OOM: buffer capped at 50%
         finally:
             ctx.stop()

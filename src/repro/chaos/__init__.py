@@ -1,0 +1,25 @@
+"""Deterministic fault injection (chaos) for the simulated cluster.
+
+See :mod:`repro.chaos.schedule` for the declarative fault plans and
+:mod:`repro.chaos.engine` for the engine that fires them.
+"""
+
+from repro.chaos.engine import ChaosEngine, FiredFault, InjectedRpcTimeout
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    KILL_KINDS,
+    RPC_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "KILL_KINDS",
+    "RPC_KINDS",
+    "ChaosEngine",
+    "FaultSchedule",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedRpcTimeout",
+]

@@ -15,6 +15,7 @@ import argparse
 import sys
 from typing import List, Sequence
 
+from repro.chaos import ChaosEngine, FaultSchedule
 from repro.common.config import GB, ClusterConfig
 from repro.obs import (
     NOOP_TRACER,
@@ -82,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-stage / per-iteration sim-time "
                              "timeline after the run")
+    parser.add_argument("--chaos", default=None, metavar="SCHEDULE.JSON",
+                        help="inject this deterministic fault schedule "
+                             "during the run and print a fault report "
+                             "(see docs/fault-tolerance.md)")
+    parser.add_argument("--speculation", action="store_true",
+                        help="enable speculative execution for straggler "
+                             "executors")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="PS auto-checkpoint interval in iterations "
+                             "(default: 1 when --chaos is given, else 0)")
     return parser
 
 
@@ -122,14 +134,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     tracing = args.trace is not None or args.timeline
     tracer = Tracer() if tracing else NOOP_TRACER
+    checkpoint_every = args.checkpoint_every
+    if checkpoint_every is None:
+        checkpoint_every = 1 if args.chaos else 0
+    schedule = FaultSchedule.load(args.chaos) if args.chaos else None
     with PSGraphContext(cluster, app_name=f"cli-{args.algorithm}",
-                        tracer=tracer) as ctx:
+                        tracer=tracer,
+                        checkpoint_interval=checkpoint_every,
+                        speculation=args.speculation) as ctx:
         ctx.hdfs.write_text("/input/edges/part-00000", lines)
-        result = GraphRunner(ctx).run(
-            make_algorithm(args), "/input/edges",
-            "/output" if args.output else None,
-            weighted=args.weighted,
-        )
+        engine = None
+        if schedule is not None:
+            engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+        try:
+            result = GraphRunner(ctx).run(
+                make_algorithm(args), "/input/edges",
+                "/output" if args.output else None,
+                weighted=args.weighted,
+            )
+        finally:
+            if engine is not None:
+                engine.detach()
+        if engine is not None:
+            print(engine.describe())
         print(f"algorithm : {args.algorithm}")
         print(f"iterations: {result.iterations}")
         for key, value in sorted(result.stats.items()):

@@ -311,6 +311,10 @@ HDFS_BYTES_WRITTEN = "hdfs.bytes_written"
 RPC_CALLS = "net.rpc.calls"
 RPC_BYTES = "net.rpc.bytes"
 CONTAINERS_RESTARTED = "yarn.containers.restarted"
+TASKS_SPECULATED = "dataflow.tasks.speculated"
+CHAOS_FAULTS = "chaos.faults.fired"
+PS_RECOVERIES = "ps.recovery.count"
+PS_ROLLBACKS = "ps.recovery.rollbacks"
 
 # Well-known histogram names (populated via ``MetricsRegistry.observe``).
 TASK_DURATION_H = "dataflow.task.duration_s"

@@ -273,6 +273,11 @@ class GraphSage(GraphAlgorithm):
 
         epoch_losses: List[float] = []
         epoch_sim_times: List[float] = []
+        # GNN training tolerates inter-partition inconsistency
+        # (Sec. III-B), so a failed server reloads only its own
+        # checkpoints and the epoch is NOT redone (relaxed mode).
+        ctx.ps.recovery_mode = "relaxed"
+        ctx.ps.start_iterations()
         for epoch in range(self.epochs):
             t0 = ctx.sim_time()
             loss_sum = 0.0
@@ -295,6 +300,7 @@ class GraphSage(GraphAlgorithm):
                 count += sum(x[2] for x in parts)
             epoch_losses.append(loss_sum / max(1, count))
             epoch_sim_times.append(ctx.sim_time() - t0)
+            ctx.ps.complete_iteration()
 
         # -- evaluation ----------------------------------------------------
         test_acc = self._evaluate(ctx, run_batch, test_ids, p)

@@ -197,11 +197,31 @@ class PageRank(GraphAlgorithm):
         residual = float("inf")
         advance = (PageRankAdvance() if use_delta
                    else FullPageRankAdvance(base))
-        for _ in range(self.max_iterations):
+        # PageRank cannot bear inconsistency between model partitions
+        # (Sec. III-B), so server failures roll every partition back to
+        # the last checkpoint and the interrupted iteration is redone.
+        ctx.ps.recovery_mode = "strict"
+        ctx.ps.start_iterations()
+        while ctx.ps.progress < self.max_iterations:
+            gen = ctx.ps.rollback_generation
             tables.foreach_partition(step)
             ctx.ps.barrier()
+            if ctx.ps.rollback_generation != gen:
+                # A server died mid-step and strict recovery rolled the
+                # model back; tasks that ran after the restore pushed
+                # partial deltas into it, so restore a clean snapshot and
+                # redo the iteration.
+                ctx.ps.rollback()
+                continue
             residual = state.psfunc(advance)
-            iterations += 1
+            if ctx.ps.rollback_generation != gen:
+                ctx.ps.rollback()
+                continue
+            ctx.ps.complete_iteration()
+            if ctx.ps.rollback_generation != gen:
+                ctx.ps.rollback()
+                continue
+            iterations = ctx.ps.progress
             if residual <= self.tol * n:
                 break
             if not use_delta:

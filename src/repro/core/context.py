@@ -30,19 +30,28 @@ class PSGraphContext:
             system reading the same input).
         tracer: sim-time span tracer (see :mod:`repro.obs`); the default
             no-op tracer records nothing and costs nothing.
+        checkpoint_interval: PS auto-checkpoint policy — every Nth barrier
+            (or completed iteration, for recovery-aware algorithms)
+            snapshots every model to HDFS; 0 disables periodic
+            checkpoints (see docs/fault-tolerance.md).
+        speculation: enable the scheduler's speculative execution for
+            straggler executors (see :class:`SparkContext`).
     """
 
     def __init__(self, cluster: ClusterConfig, *, sync_mode: str = "bsp",
                  app_name: str = "psgraph",
                  hdfs: Hdfs | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: NoopTracer = NOOP_TRACER) -> None:
+                 tracer: NoopTracer = NOOP_TRACER,
+                 checkpoint_interval: int = 0,
+                 speculation: bool = False) -> None:
         self.cluster = cluster
         self.spark = SparkContext(
             cluster, app_name=app_name, hdfs=hdfs, metrics=metrics,
-            tracer=tracer,
+            tracer=tracer, speculation=speculation,
         )
-        self.ps = PSContext(self.spark, sync_mode=sync_mode)
+        self.ps = PSContext(self.spark, sync_mode=sync_mode,
+                            checkpoint_interval=checkpoint_interval)
         self._stopped = False
 
     # -- conveniences --------------------------------------------------------

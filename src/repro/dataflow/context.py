@@ -47,6 +47,15 @@ class SparkContext:
         auto_restart_executors: when True (Spark's behaviour), a task routed
             to a dead executor restarts it via the resource manager instead
             of failing the job.
+        retry_backoff_base_s / retry_backoff_max_s: exponential backoff the
+            driver waits (in sim-time) before re-launching a failed task
+            attempt: ``min(max, base * 2**(attempt-1))`` seconds.
+        speculation: when True, a task whose preferred executor is a known
+            straggler (``slowdown >= speculation_multiplier``) launches its
+            speculative copy on the least-busy healthy executor instead —
+            the copy wins and the straggler attempt is never started.
+        speculation_multiplier: slowdown factor above which an executor is
+            treated as a straggler by speculation.
     """
 
     def __init__(self, cluster: ClusterConfig, *,
@@ -56,7 +65,11 @@ class SparkContext:
                  rpc: RpcEnv | None = None,
                  tracer: NoopTracer = NOOP_TRACER,
                  app_name: str = "app",
-                 auto_restart_executors: bool = True) -> None:
+                 auto_restart_executors: bool = True,
+                 retry_backoff_base_s: float = 1.0,
+                 retry_backoff_max_s: float = 60.0,
+                 speculation: bool = False,
+                 speculation_multiplier: float = 1.5) -> None:
         self.cluster = cluster
         self.app_name = app_name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -72,6 +85,10 @@ class SparkContext:
             cluster.cost_model, self.metrics
         )
         self.auto_restart_executors = auto_restart_executors
+        self.retry_backoff_base_s = retry_backoff_base_s
+        self.retry_backoff_max_s = retry_backoff_max_s
+        self.speculation = speculation
+        self.speculation_multiplier = speculation_multiplier
         self.driver: Container = self.resource_manager.request(
             "driver", cluster.executor_mem_bytes, name=f"driver-{app_name}"
         )
@@ -186,12 +203,19 @@ class SparkContext:
             return executor
         if self.auto_restart_executors:
             self.restart_executor(idx)
-            return executor
-        for off in range(1, len(self.executors)):
-            candidate = self.executors[(idx + off) % len(self.executors)]
-            if candidate.alive:
-                return candidate
-        raise RuntimeError("no live executors")
+            # Verify the restart actually re-registered the executor as
+            # alive before placing work on it; fall through to failover
+            # if the container did not come back.
+            if executor.alive:
+                return executor
+        # Failover: re-mix the already-mixed id over the *live* executors
+        # so the dead executor's partitions spread across all survivors
+        # instead of stacking onto the next index (skew).
+        live = [ex for ex in self.executors if ex.alive]
+        if not live:
+            raise RuntimeError("no live executors")
+        remixed = ((mixed ^ 0x85EBCA6B) * 0xC2B2AE35) & 0xFFFFFFFF
+        return live[remixed % len(live)]
 
     def kill_executor(self, index: int, reason: str = "failure injection"
                       ) -> None:
@@ -225,8 +249,16 @@ class SparkContext:
         self._task_hooks.append(hook)
 
     def remove_task_hook(self, hook: TaskHook) -> None:
-        """Unregister a post-task callback."""
-        self._task_hooks.remove(hook)
+        """Unregister a post-task callback.
+
+        Idempotent: removing a hook that is not (or no longer) registered
+        is a no-op, so nested failure-injection experiments can tear down
+        unconditionally.
+        """
+        try:
+            self._task_hooks.remove(hook)
+        except ValueError:
+            pass
 
     def notify_task_complete(self, stage_id: int, partition: int,
                              kind: str) -> None:

@@ -28,10 +28,14 @@ class Executor:
     Attributes:
         index: executor index within the job (stable across restarts).
         container: the backing Yarn container.
+        slowdown: straggler factor — simulated task time on this executor
+            is multiplied by it (>= 1.0; set by fault injection, read by
+            the scheduler's cost accounting and speculation policy).
     """
 
     index: int
     container: Container
+    slowdown: float = 1.0
     _cache: Dict[Tuple[int, int], List[Any]] = field(default_factory=dict)
 
     @property
@@ -75,6 +79,7 @@ class Executor:
     def invalidate(self) -> None:
         """Drop all executor-local state (called when the executor dies)."""
         self._cache.clear()
+        self.slowdown = 1.0
         # Container memory was reset by the resource manager on kill.
 
     def cached_partitions(self) -> List[Tuple[int, int]]:

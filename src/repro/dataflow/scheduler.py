@@ -24,6 +24,7 @@ from repro.common.metrics import (
     TASK_DURATION_H,
     TASKS_FAILED,
     TASKS_LAUNCHED,
+    TASKS_SPECULATED,
 )
 from repro.common.simclock import barrier
 from repro.dataflow.shuffle import ShuffleOutputLostError, bucket_map_output
@@ -161,6 +162,17 @@ class DAGScheduler:
     # task loop shared by map and result stages
     # ------------------------------------------------------------------
 
+    def _retry_backoff(self, attempt: int) -> None:
+        """Wait (in sim-time, on the driver) before relaunching a failed
+        attempt: ``min(max, base * 2**(attempt-1))`` seconds."""
+        ctx = self.ctx
+        base = ctx.retry_backoff_base_s
+        if base <= 0.0:
+            return
+        ctx.driver_clock.advance(
+            min(ctx.retry_backoff_max_s, base * (2.0 ** (attempt - 1)))
+        )
+
     def _run_tasks(self, partitions: List[int],
                    task: Callable[[int, TaskContext], Any],
                    kind: str) -> Dict[int, Any]:
@@ -180,6 +192,22 @@ class DAGScheduler:
         while pending:
             p = pending.pop(0)
             executor = ctx.executor_for_partition(p)
+            if ctx.speculation and \
+                    executor.slowdown >= ctx.speculation_multiplier:
+                # Speculative execution, launch-time form: the preferred
+                # executor is a known straggler, so the speculative copy
+                # on the least-busy healthy executor wins and the
+                # straggler attempt is never started (no duplicated side
+                # effects).  Deterministic: ties break on executor index.
+                healthy = [
+                    ex for ex in ctx.executors
+                    if ex.alive and ex.slowdown < ctx.speculation_multiplier
+                ]
+                if healthy:
+                    executor = min(
+                        healthy, key=lambda ex: (busy[ex.index], ex.index)
+                    )
+                    metrics.inc(TASKS_SPECULATED)
             tctx = TaskContext(stage_id, p, executor, attempt=attempts[p],
                                tracer=tracer)
             metrics.inc(TASKS_LAUNCHED)
@@ -203,6 +231,7 @@ class DAGScheduler:
                         f"stage {stage_id} ({kind}): partition {p} kept "
                         f"losing shuffle {lost.shuffle_id}"
                     ) from lost
+                self._retry_backoff(attempts[p])
                 self._recompute_shuffle(lost.shuffle_id)
                 pending.insert(0, p)
                 continue
@@ -222,10 +251,13 @@ class DAGScheduler:
                         f"stage {stage_id} ({kind}): partition {p} failed "
                         f"{attempts[p]} times"
                     )
+                self._retry_backoff(attempts[p])
                 ctx.handle_executor_failure(executor)
                 pending.insert(0, p)
                 continue
-            metrics.observe(TASK_DURATION_H, tctx.cost.total_s)
+            # A straggler executor stretches its tasks' elapsed sim-time.
+            elapsed_s = tctx.cost.total_s * max(1.0, executor.slowdown)
+            metrics.observe(TASK_DURATION_H, elapsed_s)
             if tracer.enabled:
                 # Two views of the finished attempt: the executor's
                 # compressed parallel row (serial cost / cores, tiled in
@@ -236,7 +268,7 @@ class DAGScheduler:
                     executor.id, "tasks",
                     f"task s{stage_id}.p{p}",
                     base + busy[executor.index] / cores,
-                    base + (busy[executor.index] + tctx.cost.total_s) / cores,
+                    base + (busy[executor.index] + elapsed_s) / cores,
                     {"stage": stage_id, "partition": p, "kind": kind,
                      "attempt": tctx.attempt,
                      "cpu_s": tctx.cost.cpu_s, "net_s": tctx.cost.net_s,
@@ -244,11 +276,11 @@ class DAGScheduler:
                 )
                 tracer.add(
                     executor.id, tctx.trace_track, "task",
-                    base, base + tctx.cost.total_s,
+                    base, base + elapsed_s,
                     {"stage": stage_id, "partition": p, "kind": kind,
                      "attempt": tctx.attempt},
                 )
-            busy[executor.index] += tctx.cost.total_s
+            busy[executor.index] += elapsed_s
             results[p] = result
             ctx.notify_task_complete(stage_id, p, kind)
         # Sim-time: each executor worked its share in parallel with the

@@ -273,6 +273,51 @@ def _pagerank(seed: int, tracer: Tracer, metrics: MetricsRegistry
         return stats, ctx.sim_time()
 
 
+@workload("chaos-pagerank")
+def _chaos_pagerank(seed: int, tracer: Tracer, metrics: MetricsRegistry
+                    ) -> Tuple[Dict[str, float], float]:
+    """PageRank under fault injection: an executor kill and a PS server
+    kill mid-run, with per-iteration checkpoints and strict recovery.
+
+    The CI chaos-smoke job double-runs this workload to assert that a
+    seeded fault schedule — including every recovery and rollback it
+    causes — is bit-for-bit reproducible.
+    """
+    from repro.chaos import ChaosEngine, FaultSchedule, FaultSpec
+    from repro.core.algorithms import PageRank
+    from repro.core.context import PSGraphContext
+    from repro.core.runner import GraphRunner
+    from repro.datasets.generators import powerlaw_graph
+    from repro.datasets.tencent import write_edges
+
+    with PSGraphContext(_small_cluster(), app_name="lint-chaos-pagerank",
+                        metrics=metrics, tracer=tracer,
+                        checkpoint_interval=1) as ctx:
+        src, dst = powerlaw_graph(
+            400, 3000, seed=derive_seed(seed, "lint-chaos-pagerank"))
+        write_edges(ctx.hdfs, "/input/edges", src, dst, num_files=4)
+        schedule = FaultSchedule([
+            FaultSpec("kill_executor", index=1, after_tasks=20),
+            FaultSpec("kill_server", index=0, at_epoch=4),
+        ], seed=seed)
+        engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+        try:
+            result = GraphRunner(ctx).run(
+                PageRank(max_iterations=8, tol=1e-9), "/input/edges",
+            )
+        finally:
+            engine.detach()
+        ranks = result.output.rdd.collect()
+        stats = {
+            "iterations": float(result.iterations),
+            "residual": float(result.stats["residual"]),
+            "ranks_checksum": float(sum(r[1] for r in ranks)),
+            "faults_fired": float(len(engine.fired)),
+            "recoveries": float(ctx.ps.master.recoveries),
+        }
+        return stats, ctx.sim_time()
+
+
 @workload("graphsage")
 def _graphsage(seed: int, tracer: Tracer, metrics: MetricsRegistry
                ) -> Tuple[Dict[str, float], float]:

@@ -16,7 +16,7 @@ proportionally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.common.costs import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import EndpointNotFoundError, RpcError
@@ -55,6 +55,33 @@ class RpcEnv:
     cost_model: CostModel = DEFAULT_COST_MODEL
     metrics: MetricsRegistry | None = None
     _endpoints: Dict[str, RpcEndpoint] = field(default_factory=dict)
+    #: Optional fault hook ``(endpoint, method) -> extra_latency_s``; may
+    #: raise :class:`RpcError` to fail the call.  Installed by the chaos
+    #: engine; consulted by :meth:`check_fault` on every metered call path
+    #: (including the PS agent's direct-dispatch fast path, which bypasses
+    #: :meth:`call`).
+    fault_injector: Optional[Callable[[str, str], float]] = None
+
+    def check_fault(self, name: str, method: str,
+                    cost: TaskCost | None = None) -> None:
+        """Give the installed fault injector a chance to fail this call.
+
+        Extra latency the injector returns (or attaches to a raised
+        timeout) is charged to ``cost`` when provided; callers without a
+        task-cost accumulator absorb it at their own clock (see the PS
+        agent and master).
+        """
+        if self.fault_injector is None:
+            return
+        try:
+            extra_s = self.fault_injector(name, method)
+        except RpcError as exc:
+            delay_s = getattr(exc, "delay_s", 0.0)
+            if cost is not None and delay_s > 0.0:
+                cost.net_s += delay_s
+            raise
+        if extra_s and cost is not None:
+            cost.net_s += extra_s
 
     def register(self, name: str, handler: Any) -> RpcEndpoint:
         """Register ``handler`` under ``name`` (replacing a dead predecessor)."""
@@ -121,6 +148,7 @@ class RpcEnv:
         ep = self.endpoint(name)
         if not ep.alive:
             raise RpcError(f"endpoint {name} is not alive")
+        self.check_fault(name, method, cost)
         fn = getattr(ep.handler, method, None)
         if fn is None:
             raise RpcError(f"endpoint {name} has no method {method!r}")

@@ -73,6 +73,7 @@ class PSAgent:
         endpoint = psctx.server_endpoint(server_index)
         rpc = psctx.spark.rpc
         try:
+            self._check_fault(endpoint, method)
             ep = rpc.endpoint(endpoint)
             if not ep.alive:
                 raise RpcError(f"endpoint {endpoint} is not alive")
@@ -85,6 +86,26 @@ class PSAgent:
             psctx.master.recover(psctx.recovery_mode)
             ep = rpc.endpoint(endpoint)
             return getattr(ep.handler, method)(*args)
+
+    def _check_fault(self, endpoint: str, method: str) -> None:
+        """Chaos hook: the agent dispatches to server handlers directly
+        (bypassing :meth:`RpcEnv.call`), so it must consult the fabric's
+        fault injector itself.  Injected timeout latency lands on the
+        running task's cost, or the driver clock outside a task."""
+        rpc = self.psctx.spark.rpc
+        if rpc.fault_injector is None:
+            return
+        tctx = current_task_context()
+        if tctx is not None:
+            rpc.check_fault(endpoint, method, tctx.cost)
+            return
+        try:
+            rpc.check_fault(endpoint, method, None)
+        except RpcError as exc:
+            delay_s = getattr(exc, "delay_s", 0.0)
+            if delay_s > 0.0:
+                self.psctx.spark.driver_clock.advance(delay_s)
+            raise
 
     def _group_call(self, calls: Sequence[Call],
                     col: int | None = None) -> List[Any]:

@@ -16,8 +16,19 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.common.errors import ConfigError, MatrixNotFoundError
-from repro.common.metrics import PS_CHECKPOINT_BYTES, PS_CHECKPOINTS
+from repro.common.errors import (
+    CheckpointNotFoundError,
+    ConfigError,
+    ContainerLostError,
+    MatrixNotFoundError,
+    RpcError,
+)
+from repro.common.metrics import (
+    PS_CHECKPOINT_BYTES,
+    PS_CHECKPOINTS,
+    PS_RECOVERIES,
+    PS_ROLLBACKS,
+)
 from repro.dataflow.context import SparkContext
 from repro.ps.agent import PSAgent
 from repro.ps.master import PSMaster
@@ -91,6 +102,20 @@ class PSContext:
         #: Recovery consistency mode used by auto-recovery: "relaxed" for
         #: GE/GNN-style tolerance, "strict" for PageRank-style rollback.
         self.recovery_mode = "relaxed"
+        #: Completed algorithm iterations, maintained by the driver loop
+        #: via :meth:`start_iterations` / :meth:`complete_iteration`.
+        self.progress = 0
+        #: Bumped on every master recovery; lets a driver loop detect that
+        #: a recovery happened while a stage was in flight.
+        self.recovery_generation = 0
+        #: Bumped only on *strict* recoveries (checkpoint rollbacks) — the
+        #: signal that in-flight iteration work must be redone.
+        self.rollback_generation = 0
+        #: When True, :meth:`barrier` leaves periodic checkpointing to
+        #: :meth:`complete_iteration` (iteration-driven policy).
+        self._iteration_driven = False
+        #: ``progress`` value captured by the most recent checkpoint.
+        self._ckpt_progress = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -308,18 +333,99 @@ class PSContext:
         """Detect and recover dead servers (see :class:`PSMaster`)."""
         return self.master.recover(mode)
 
+    def note_recovery(self, mode: str, dead: List[int]) -> None:
+        """Master callback after a completed recovery: bump generations.
+
+        Strict recoveries roll the model back to the last checkpoint, so
+        they also reset :attr:`progress` to the checkpointed iteration and
+        bump :attr:`rollback_generation` — a driver loop comparing that
+        counter around a stage knows it must redo the iteration.
+        """
+        self.recovery_generation += 1
+        self.spark.metrics.inc(PS_RECOVERIES, len(dead))
+        if mode == "strict":
+            self.rollback_generation += 1
+            self.progress = self._ckpt_progress
+
+    def rollback(self) -> None:
+        """Restore every model partition from its last checkpoint.
+
+        Called by recovery-aware driver loops after a mid-iteration strict
+        recovery: tasks that kept running *after* the master restored the
+        checkpoint may have pushed partial updates into it, so the loop
+        re-restores a clean snapshot before redoing the iteration.
+        """
+        for name in self.matrix_names():
+            meta = self.matrix_meta(name)
+            for pid in range(meta.num_partitions):
+                path = self.checkpoint_path(name, pid)
+                if not self.spark.hdfs.exists(path):
+                    raise CheckpointNotFoundError(
+                        f"no checkpoint for {name}[{pid}] at {path}"
+                    )
+                self.servers[meta.server_of(pid)].restore_partition(
+                    meta, pid, path
+                )
+        self.clear_pull_caches()
+        self.progress = self._ckpt_progress
+        self.spark.metrics.inc(PS_ROLLBACKS)
+
     # ------------------------------------------------------------------
     # iteration control
     # ------------------------------------------------------------------
+
+    def start_iterations(self) -> None:
+        """Switch to the iteration-driven checkpoint policy.
+
+        Recovery-aware algorithm loops call this once before iterating:
+        it resets :attr:`progress`, writes the baseline checkpoint (when
+        ``checkpoint_interval > 0``) so a fault in iteration 1 has a
+        consistent snapshot to roll back to, and moves periodic
+        checkpointing from :meth:`barrier` (every Nth sync epoch, which
+        can capture mid-iteration state) to :meth:`complete_iteration`
+        (always a consistent post-iteration boundary).
+        """
+        self._iteration_driven = True
+        self.progress = 0
+        self._ckpt_progress = 0
+        if self.checkpoint_interval > 0:
+            self._checkpoint_with_recovery()
+
+    def complete_iteration(self) -> None:
+        """Mark one algorithm iteration done; maybe checkpoint.
+
+        With ``checkpoint_interval > 0`` every Nth completed iteration
+        snapshots every model, establishing the rollback boundary strict
+        recovery restores to.
+        """
+        self.progress += 1
+        if (self.checkpoint_interval > 0
+                and self.progress % self.checkpoint_interval == 0):
+            self._checkpoint_with_recovery()
+            self._ckpt_progress = self.progress
+
+    def _checkpoint_with_recovery(self) -> None:
+        """Checkpoint all models, recovering once if a server is down."""
+        try:
+            self.checkpoint_all()
+        except (RpcError, ContainerLostError):
+            if not self.auto_recover:
+                raise
+            self.master.recover(self.recovery_mode)
+            self.checkpoint_all()
 
     def barrier(self) -> float:
         """End-of-iteration barrier (BSP) or epoch tick (ASP).
 
         With ``checkpoint_interval > 0``, every Nth barrier also writes the
-        periodic HDFS checkpoint of every registered model.
+        periodic HDFS checkpoint of every registered model — unless the
+        driver switched to the iteration-driven policy via
+        :meth:`start_iterations`, in which case checkpoints are written at
+        iteration boundaries by :meth:`complete_iteration` instead.
         """
         t = self.sync.barrier()
-        if (self.checkpoint_interval > 0
+        if (not self._iteration_driven
+                and self.checkpoint_interval > 0
                 and self.sync.epoch % self.checkpoint_interval == 0):
             self.checkpoint_all()
         return t

@@ -17,13 +17,14 @@ Recovery modes therefore come in two flavours:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.common.errors import CheckpointNotFoundError, RpcError
 from repro.common.simclock import barrier
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ps.context import PSContext
+    from repro.ps.meta import MatrixMeta
 
 #: Recovery modes (see module docstring).
 RECOVERY_MODES = ("relaxed", "strict")
@@ -79,25 +80,37 @@ class PSMaster:
         if not dead:
             return []
         recovery_start_s = psctx.spark.driver_clock.now_s
-        for index in dead:
-            server = psctx.servers[index]
-            psctx.spark.resource_manager.restart(server.container)
-            server.wipe()
-            psctx.spark.rpc.revive(server.id, server)
+        dead_set = set(dead)
         restore_all = mode == "strict"
+        # Phase 1: verify every checkpoint this restore will need BEFORE
+        # touching any server.  A missing checkpoint must leave the
+        # cluster exactly as the failure left it — not with servers
+        # revived-but-empty and other matrices half-restored.
+        plan: List[Tuple["MatrixMeta", int, int, str]] = []
         for name in psctx.matrix_names():
             meta = psctx.matrix_meta(name)
             for pid in range(meta.num_partitions):
                 sidx = meta.server_of(pid)
-                if not restore_all and sidx not in dead:
+                if not restore_all and sidx not in dead_set:
                     continue
                 path = psctx.checkpoint_path(name, pid)
                 if not psctx.spark.hdfs.exists(path):
                     raise CheckpointNotFoundError(
                         f"no checkpoint for {name}[{pid}] at {path}"
                     )
-                psctx.servers[sidx].restore_partition(meta, pid, path)
+                plan.append((meta, pid, sidx, path))
+        # Phase 2: restart dead containers, wipe their stale state and
+        # re-register their RPC endpoints.
+        for index in dead:
+            server = psctx.servers[index]
+            psctx.spark.resource_manager.restart(server.container)
+            server.wipe()
+            psctx.spark.rpc.revive(server.id, server)
+        # Phase 3: reload from the verified plan.
+        for meta, pid, sidx, path in plan:
+            psctx.servers[sidx].restore_partition(meta, pid, path)
         self.recoveries += len(dead)
+        psctx.note_recovery(mode, dead)
         # Cached pulls may predate the rollback; drop them.
         psctx.clear_pull_caches()
         # Everyone waited for recovery (the paper: other executors are

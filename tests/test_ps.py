@@ -419,6 +419,38 @@ class TestCheckpointRecovery:
         assert ps.servers[2].container.restarts == 1
         assert ps.master.recoveries == 1
 
+    def test_failed_recover_leaves_cluster_untouched(self, ps):
+        # Exception safety: if any needed checkpoint is missing, recover()
+        # must verify the full restore plan BEFORE restarting/wiping any
+        # server — not leave it revived-but-empty.
+        v = ps.create_vector("v", 60, partition="hash")
+        v.push(np.arange(60), np.ones(60))
+        ps.checkpoint_matrix("v")
+        w = ps.create_vector("w", 60, partition="hash")  # no checkpoint
+        w.push(np.arange(60), np.full(60, 7.0))
+        ps.kill_server(1)
+        with pytest.raises(CheckpointNotFoundError):
+            ps.recover(mode="relaxed")
+        # The dead server was neither restarted nor revived.
+        assert not ps.servers[1].container.alive
+        assert ps.servers[1].container.restarts == 0
+        assert not ps.spark.rpc.is_alive(ps.servers[1].id)
+        assert ps.master.recoveries == 0
+
+    def test_strict_recover_verifies_all_matrices_first(self, ps):
+        v = ps.create_vector("v", 60)
+        v.push(np.arange(60), np.ones(60))
+        ps.checkpoint_matrix("v")
+        ps.create_vector("w", 60)  # never checkpointed
+        ps.kill_server(0)
+        # Strict mode restores every partition of every matrix; the
+        # missing "w" checkpoint must abort before any server restart.
+        with pytest.raises(CheckpointNotFoundError):
+            ps.recover(mode="strict")
+        assert not ps.servers[0].container.alive
+        assert ps.servers[0].container.restarts == 0
+        assert ps.master.recoveries == 0
+
 
 class TestSync:
     def test_bsp_barrier_aligns_clocks(self, ps):
@@ -512,6 +544,102 @@ class TestPeriodicCheckpoint:
             for _ in range(5):
                 psctx.barrier()
             assert not spark.hdfs.exists(psctx.checkpoint_path("v", 0))
+        finally:
+            psctx.stop()
+            spark.stop()
+
+
+class TestIterationCheckpointPolicy:
+    def _make(self, interval=1):
+        cluster = ClusterConfig(
+            num_executors=2, executor_mem_bytes=1 << 40,
+            num_servers=2, server_mem_bytes=1 << 40,
+        )
+        spark = SparkContext(cluster)
+        return spark, PSContext(spark, checkpoint_interval=interval)
+
+    def test_start_iterations_writes_baseline_checkpoint(self):
+        spark, psctx = self._make()
+        try:
+            v = psctx.create_vector("v", 20)
+            v.push(np.arange(20), np.ones(20))
+            psctx.start_iterations()
+            assert spark.hdfs.exists(psctx.checkpoint_path("v", 0))
+            assert psctx.progress == 0
+        finally:
+            psctx.stop()
+            spark.stop()
+
+    def test_iteration_driven_disables_epoch_checkpoints(self):
+        # Once an algorithm drives checkpoints by iteration, barrier()
+        # must not also fire the epoch-based policy (double-writes would
+        # move the rollback boundary mid-iteration).
+        spark, psctx = self._make(interval=1)
+        try:
+            v = psctx.create_vector("v", 20)
+            psctx.start_iterations()
+            v.push(np.arange(20), np.ones(20))
+            psctx.barrier()
+            psctx.kill_server(0)
+            psctx.recover(mode="strict")
+            # The barrier did NOT checkpoint the post-push state: strict
+            # recovery rolls back to the start_iterations() baseline.
+            np.testing.assert_allclose(v.to_numpy(), 0.0)
+        finally:
+            psctx.stop()
+            spark.stop()
+
+    def test_complete_iteration_checkpoints_every_nth(self):
+        spark, psctx = self._make(interval=2)
+        try:
+            v = psctx.create_vector("v", 20)
+            psctx.start_iterations()
+            v.push(np.arange(20), np.ones(20))
+            psctx.complete_iteration()  # progress 1: no checkpoint yet
+            psctx.kill_server(0)
+            psctx.recover(mode="strict")
+            np.testing.assert_allclose(v.to_numpy(), 0.0)
+            assert psctx.progress == 0  # rolled back to the baseline
+            v.push(np.arange(20), np.ones(20))
+            psctx.complete_iteration()
+            v.push(np.arange(20), np.ones(20))
+            psctx.complete_iteration()  # progress 2: checkpoint fires
+            v.push(np.arange(20), np.ones(20))  # post-checkpoint work
+            psctx.kill_server(1)
+            psctx.recover(mode="strict")
+            np.testing.assert_allclose(v.to_numpy(), 2.0)
+            assert psctx.progress == 2
+        finally:
+            psctx.stop()
+            spark.stop()
+
+    def test_rollback_restores_checkpoint_state(self):
+        spark, psctx = self._make(interval=1)
+        try:
+            v = psctx.create_vector("v", 20)
+            v.push(np.arange(20), np.ones(20))
+            psctx.start_iterations()
+            v.push(np.arange(20), np.ones(20))  # dirty, post-baseline
+            psctx.rollback()
+            np.testing.assert_allclose(v.to_numpy(), 1.0)
+            assert psctx.progress == 0
+        finally:
+            psctx.stop()
+            spark.stop()
+
+    def test_recovery_generations_distinguish_modes(self):
+        spark, psctx = self._make(interval=1)
+        try:
+            psctx.create_vector("v", 20)
+            psctx.start_iterations()
+            psctx.kill_server(0)
+            psctx.recover(mode="relaxed")
+            assert psctx.recovery_generation == 1
+            assert psctx.rollback_generation == 0  # relaxed: no rollback
+            psctx.kill_server(0)
+            psctx.recover(mode="strict")
+            assert psctx.recovery_generation == 2
+            assert psctx.rollback_generation == 1
         finally:
             psctx.stop()
             spark.stop()

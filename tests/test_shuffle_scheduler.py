@@ -172,6 +172,108 @@ class TestSchedulerRecovery:
         )
         assert results == [0, 1, 4, 9, 16]
 
+    def test_failover_spreads_across_survivors(self):
+        # The dead executor's partitions must not all stack onto one
+        # neighbor (skew): failover re-mixes over the live executors.
+        cluster = ClusterConfig(num_executors=4,
+                                executor_mem_bytes=1 << 30)
+        ctx = SparkContext(cluster, auto_restart_executors=False)
+        try:
+            victim = 1
+            orphans = [
+                p for p in range(200)
+                if ((p * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF) % 4
+                == victim
+            ]
+            assert len(orphans) > 10
+            ctx.kill_executor(victim)
+            landed = {ctx.executor_for_partition(p).index
+                      for p in orphans}
+            assert victim not in landed
+            assert len(landed) > 1
+        finally:
+            ctx.stop()
+
+    def test_failed_restart_falls_back_to_failover(self):
+        # If the resource manager cannot actually revive the container,
+        # placement must verify liveness and route around it instead of
+        # handing work to a dead executor.
+        ctx = make_context(num_executors=3)
+        try:
+            victim_p = next(
+                p for p in range(100)
+                if ((p * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF) % 3 == 1
+            )
+            ctx.kill_executor(1)
+            ctx.resource_manager.restart = lambda container: None
+            chosen = ctx.executor_for_partition(victim_p)
+            assert chosen.alive
+            assert chosen.index != 1
+        finally:
+            ctx.stop()
+
+    def test_remove_task_hook_idempotent(self, sc):
+        def hook(_s, _p, _k):
+            pass
+
+        sc.add_task_hook(hook)
+        sc.remove_task_hook(hook)
+        sc.remove_task_hook(hook)  # double removal: no ValueError
+        sc.remove_task_hook(lambda *_: None)  # never registered: no-op
+
+    def test_retry_backoff_advances_driver_clock(self):
+        times = {}
+        for base in (0.0, 50.0):
+            cluster = ClusterConfig(num_executors=2,
+                                    executor_mem_bytes=1 << 30)
+            ctx = SparkContext(cluster, retry_backoff_base_s=base)
+            try:
+                state = {"failed": False}
+
+                def task(p, tctx, _state=state, _ctx=ctx):
+                    if p == 0 and not _state["failed"]:
+                        _state["failed"] = True
+                        _ctx.kill_executor(tctx.executor.index)
+                        tctx.executor.ensure_alive()
+                    return p
+
+                got = ctx.scheduler.run_stage(2, task, kind="flaky")
+                assert got == [0, 1]
+                times[base] = ctx.sim_time()
+            finally:
+                ctx.stop()
+        # One failed attempt: backoff waits base * 2**0 on the driver.
+        assert times[50.0] >= times[0.0] + 50.0
+
+    def test_speculation_reroutes_straggler_tasks(self):
+        from repro.common.metrics import TASKS_SPECULATED
+
+        cluster = ClusterConfig(num_executors=3,
+                                executor_mem_bytes=1 << 30)
+        ctx = SparkContext(cluster, speculation=True)
+        try:
+            ctx.executors[1].slowdown = 10.0
+            got = sorted(ctx.parallelize(range(30), 6).map(
+                lambda x: x + 1).collect())
+            assert got == [x + 1 for x in range(30)]
+            assert ctx.metrics.get(TASKS_SPECULATED) > 0
+        finally:
+            ctx.stop()
+
+    def test_straggler_slowdown_stretches_sim_time(self):
+        times = {}
+        for factor in (1.0, 40.0):
+            ctx = make_context(num_executors=2)
+            try:
+                for ex in ctx.executors:
+                    ex.slowdown = factor
+                ctx.parallelize(range(4000), 8).map(
+                    lambda x: x + 1).count()
+                times[factor] = ctx.sim_time()
+            finally:
+                ctx.stop()
+        assert times[40.0] > times[1.0] * 2
+
     def test_persistent_task_failure_raises_stage_failed(self):
         ctx = make_context(num_executors=2)
         try:
@@ -181,6 +283,57 @@ class TestSchedulerRecovery:
 
             with pytest.raises(StageFailedError):
                 ctx.scheduler.run_stage(1, bad_task, kind="doomed")
+        finally:
+            ctx.stop()
+
+
+class TestKillDuringShuffle:
+    """A map-side executor dying after its shuffle write must trigger
+    parent-stage recomputation — on both record representations."""
+
+    def _run(self, ctx, batched):
+        keys = [i % 5 for i in range(50)]
+        values = [1.0] * 50
+        if batched:
+            rdd = ctx.parallelize_batches(
+                np.array(keys, dtype=np.int64),
+                np.array(values), 6,
+            ).reduce_by_key(op="add", num_partitions=4)
+            return dict(rdd.collect_records())
+        rdd = ctx.parallelize(list(zip(keys, values)), 6) \
+            .reduce_by_key(lambda a, b: a + b)
+        return dict(rdd.collect())
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_map_executor_killed_after_write(self, batched):
+        ctx = make_context(num_executors=3)
+        try:
+            state = {"killed": False}
+
+            def hook(_stage, partition, kind):
+                # Kill the executor that just wrote this map output; its
+                # shuffle files die with it.
+                if kind.startswith("shuffle-") and not state["killed"]:
+                    state["killed"] = True
+                    ctx.kill_executor(
+                        ctx.executor_for_partition(partition).index
+                    )
+
+            ctx.add_task_hook(hook)
+            got = self._run(ctx, batched)
+            assert got == {k: 10.0 for k in range(5)}
+            assert state["killed"]
+            assert ctx.metrics.get(TASKS_FAILED) >= 1
+        finally:
+            ctx.stop()
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_clean_run_has_no_failures(self, batched):
+        ctx = make_context(num_executors=3)
+        try:
+            got = self._run(ctx, batched)
+            assert got == {k: 10.0 for k in range(5)}
+            assert ctx.metrics.get(TASKS_FAILED) == 0
         finally:
             ctx.stop()
 

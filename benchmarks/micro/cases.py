@@ -31,10 +31,25 @@ from repro.ps.context import PSContext
 PARTITIONS = 8
 FEATURE_DIM = 16
 
+#: Counter prefixes embedded in the results JSON.  These are *simulated*
+#: counters — shuffle volumes, PS request counts, HDFS bytes — so for a
+#: fixed case they are bit-identical on every host, unlike the wall-clock
+#: fields next to them.
+METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.")
+
 
 def _spark() -> SparkContext:
     cluster = ClusterConfig(num_executors=4, executor_mem_bytes=1 << 40)
     return SparkContext(cluster)
+
+
+def _metrics_snapshot(ctx: SparkContext) -> Dict[str, float]:
+    """Deterministic counters from one run (sorted, prefix-filtered)."""
+    return {
+        name: value
+        for name, value in sorted(ctx.metrics.snapshot().items())
+        if name.startswith(METRIC_PREFIXES)
+    }
 
 
 def _pairs(n: int, key_space: int, seed: int = 0):
@@ -49,21 +64,29 @@ def _pairs(n: int, key_space: int, seed: int = 0):
 REPEATS = 3
 
 
-def _time_job(job: Callable[[SparkContext], object]) -> float:
-    """Best-of-N wall-clock for one pipeline; setup/teardown untimed."""
+def _time_job(job: Callable[[SparkContext], object]
+              ) -> tuple[float, Dict[str, float]]:
+    """Best-of-N wall-clock for one pipeline; setup/teardown untimed.
+
+    Also returns the simulated-counter snapshot of the last run (every
+    repeat uses a fresh context, so the snapshots are identical).
+    """
     best = float("inf")
+    snapshot: Dict[str, float] = {}
     for _ in range(REPEATS):
         ctx = _spark()
         try:
             t0 = time.perf_counter()
             job(ctx)
             best = min(best, time.perf_counter() - t0)
+            snapshot = _metrics_snapshot(ctx)
         finally:
             ctx.stop()
-    return best
+    return best, snapshot
 
 
-def _result(name: str, n: int, boxed_s: float, batched_s: float) -> Dict:
+def _result(name: str, n: int, boxed_s: float, batched_s: float,
+            metrics: Dict[str, float] | None = None) -> Dict:
     return {
         "name": name,
         "records": n,
@@ -71,6 +94,7 @@ def _result(name: str, n: int, boxed_s: float, batched_s: float) -> Dict:
         "batched_s": round(batched_s, 6),
         "speedup": round(boxed_s / batched_s, 3) if batched_s else 0.0,
         "records_per_s": int(n / batched_s) if batched_s else 0,
+        "metrics": metrics or {},
     }
 
 
@@ -89,7 +113,9 @@ def case_shuffle(n: int) -> Dict:
             part
         ).collect()
 
-    return _result("shuffle", n, _time_job(boxed), _time_job(batched))
+    boxed_s, _ = _time_job(boxed)
+    batched_s, snap = _time_job(batched)
+    return _result("shuffle", n, boxed_s, batched_s, snap)
 
 
 def case_reduce_by_key(n: int) -> Dict:
@@ -106,7 +132,9 @@ def case_reduce_by_key(n: int) -> Dict:
             op="add", num_partitions=PARTITIONS
         ).collect()
 
-    return _result("reduce_by_key", n, _time_job(boxed), _time_job(batched))
+    boxed_s, _ = _time_job(boxed)
+    batched_s, snap = _time_job(batched)
+    return _result("reduce_by_key", n, boxed_s, batched_s, snap)
 
 
 def case_pagerank_iter(n: int) -> Dict:
@@ -125,7 +153,9 @@ def case_pagerank_iter(n: int) -> Dict:
     def batched(ctx):
         superstep(ctx.parallelize_batches(keys, values, PARTITIONS))
 
-    return _result("pagerank_iter", n, _time_job(boxed), _time_job(batched))
+    boxed_s, _ = _time_job(boxed)
+    batched_s, snap = _time_job(batched)
+    return _result("pagerank_iter", n, boxed_s, batched_s, snap)
 
 
 def case_graphsage_minibatch(n: int) -> Dict:
@@ -143,8 +173,9 @@ def case_graphsage_minibatch(n: int) -> Dict:
         0, 10, size=(num_vertices, FEATURE_DIM)
     ).astype(np.float64)
 
-    def run(aggregate) -> float:
+    def run(aggregate) -> tuple:
         best = float("inf")
+        snapshot: Dict[str, float] = {}
         for _ in range(REPEATS):
             cluster = ClusterConfig(
                 num_executors=2, executor_mem_bytes=1 << 40,
@@ -160,10 +191,11 @@ def case_graphsage_minibatch(n: int) -> Dict:
                 t0 = time.perf_counter()
                 aggregate(feats)
                 best = min(best, time.perf_counter() - t0)
+                snapshot = _metrics_snapshot(spark)
             finally:
                 psctx.stop()
                 spark.stop()
-        return best
+        return best, snapshot
 
     def boxed(feats):
         rows = feats.pull(src)
@@ -179,7 +211,9 @@ def case_graphsage_minibatch(n: int) -> Dict:
         batch = feats.pull_batch(src)
         segment_reduce(dst, batch.values, "add")
 
-    return _result("graphsage_minibatch", n, run(boxed), run(batched))
+    boxed_s, _ = run(boxed)
+    batched_s, snap = run(batched)
+    return _result("graphsage_minibatch", n, boxed_s, batched_s, snap)
 
 
 #: name -> (case_fn, quick_n, full_n)

@@ -60,9 +60,26 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--case", action="append", dest="cases",
                         choices=sorted(CASES), default=None,
                         help="run only this case (repeatable)")
+    parser.add_argument("--merge-metrics", default=None, metavar="BASELINE",
+                        help="update only the per-case 'metrics' snapshots "
+                             "in BASELINE, keeping its timing numbers "
+                             "(the snapshots are simulated counters and "
+                             "host-independent; the timings are not)")
     args = parser.parse_args(argv)
 
     results = run_cases(quick=args.quick, names=args.cases)
+
+    if args.merge_metrics:
+        base_path = Path(args.merge_metrics)
+        baseline = json.loads(base_path.read_text())
+        by_name = {c["name"]: c for c in results}
+        for case in baseline.get("cases", []):
+            fresh = by_name.get(case["name"])
+            if fresh is not None:
+                case["metrics"] = fresh["metrics"]
+        base_path.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"merged metrics snapshots into {base_path}")
+        return 0
     payload = {
         "bench": "psgraph-columnar-micro",
         "mode": "quick" if args.quick else "full",

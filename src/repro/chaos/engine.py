@@ -63,6 +63,9 @@ class ChaosEngine:
         self.tasks_seen = 0
         self.rpc_calls_seen = 0
         self.fired: List[FiredFault] = []
+        #: Optional telemetry collector; when bound, the fault report
+        #: carries the SLO alerts and a detection timeline per fault.
+        self._telemetry = None
         self._attached = False
         self._installed_injector = None
         #: (fault, matching-calls-seen, failures-injected) for rpc faults.
@@ -248,14 +251,63 @@ class ChaosEngine:
         return (not self._pending
                 and all(s[2] >= s[0].count for s in self._rpc_state))
 
+    def bind_telemetry(self, collector) -> "ChaosEngine":
+        """Attach a :class:`~repro.obs.telemetry.TelemetryCollector`.
+
+        Once bound, :meth:`report` includes the SLO alert log and a
+        per-fault detection timeline (injection -> first alert), which is
+        what chaos runs use to measure detection-to-recovery.
+        """
+        self._telemetry = collector
+        return self
+
+    def detection_timeline(self) -> List[Dict[str, object]]:
+        """Injection-to-detection rows for every fired fault.
+
+        Each row pairs a fired fault with the first alert whose
+        sim-time detection stamp is at or after the injection.  A fault
+        nobody alerted on has ``detected_at_s`` None — that is a
+        coverage gap worth seeing, not an error.
+        """
+        if self._telemetry is None:
+            return []
+        rows: List[Dict[str, object]] = []
+        for f in self.fired:
+            alert = next(
+                (a for a in self._telemetry.alerts
+                 if a.fired_at_s >= f.sim_time_s - 1e-9), None)
+            row: Dict[str, object] = {
+                "kind": f.kind,
+                "target": f.target,
+                "injected_at_s": f.sim_time_s,
+                "detected_at_s": None,
+                "detection_delay_s": None,
+                "slo": None,
+                "recovered_at_s": None,
+            }
+            if alert is not None:
+                row.update({
+                    "detected_at_s": alert.fired_at_s,
+                    "detection_delay_s": alert.fired_at_s - f.sim_time_s,
+                    "slo": alert.slo,
+                    "recovered_at_s": alert.resolved_at_s,
+                })
+            rows.append(row)
+        return rows
+
     def report(self) -> Dict[str, object]:
         """Machine-readable summary of what the engine injected."""
-        return {
+        doc: Dict[str, object] = {
             "tasks_seen": self.tasks_seen,
             "rpc_calls_seen": self.rpc_calls_seen,
             "scheduled": len(self.schedule),
             "fired": [f.to_dict() for f in self.fired],
         }
+        if self._telemetry is not None:
+            doc["alerts"] = [a.to_dict()
+                             for a in self._telemetry.alerts]
+            doc["detection"] = self.detection_timeline()
+        return doc
 
     def describe(self) -> str:
         """Human-readable summary of the injected faults."""
@@ -272,6 +324,18 @@ class ChaosEngine:
                 f"  t={f.sim_time_s:10.3f}s task#{f.tasks_seen:<5d} "
                 f"{f.kind} -> {f.target}{extra}"
             )
+        for row in self.detection_timeline():
+            if row["detected_at_s"] is None:
+                lines.append(
+                    f"  t={row['injected_at_s']:10.3f}s "
+                    f"{row['kind']} -> {row['target']}: no alert fired"
+                )
+            else:
+                lines.append(
+                    f"  t={row['injected_at_s']:10.3f}s "
+                    f"{row['kind']} detected by {row['slo']} "
+                    f"after {row['detection_delay_s']:.3f}s"
+                )
         return "\n".join(lines)
 
 

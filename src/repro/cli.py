@@ -12,6 +12,7 @@ writes the output back out::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Sequence
 
@@ -19,7 +20,9 @@ from repro.chaos import ChaosEngine, FaultSchedule
 from repro.common.config import GB, ClusterConfig
 from repro.obs import (
     NOOP_TRACER,
+    TelemetryCollector,
     Tracer,
+    build_telemetry_doc,
     timeline_report,
     write_chrome_trace,
     write_metrics_json,
@@ -83,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-stage / per-iteration sim-time "
                              "timeline after the run")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="sample windowed time-series + SLO burn-rate "
+                             "alerts during the run and write the telemetry "
+                             "document (render with 'repro-obs report')")
     parser.add_argument("--chaos", default=None, metavar="SCHEDULE.JSON",
                         help="inject this deterministic fault schedule "
                              "during the run and print a fault report "
@@ -132,7 +139,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         num_servers=args.servers,
         server_mem_bytes=int(args.server_gb * GB),
     )
-    tracing = args.trace is not None or args.timeline
+    # Telemetry needs spans for the critical-path profile, so --telemetry
+    # implies tracing.
+    tracing = (args.trace is not None or args.timeline
+               or args.telemetry is not None)
     tracer = Tracer() if tracing else NOOP_TRACER
     checkpoint_every = args.checkpoint_every
     if checkpoint_every is None:
@@ -143,9 +153,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         checkpoint_interval=checkpoint_every,
                         speculation=args.speculation) as ctx:
         ctx.hdfs.write_text("/input/edges/part-00000", lines)
+        collector = None
+        if args.telemetry is not None:
+            collector = TelemetryCollector(
+                ctx.metrics, tracer).attach(ctx.spark)
         engine = None
         if schedule is not None:
             engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+            if collector is not None:
+                engine.bind_telemetry(collector)
         try:
             result = GraphRunner(ctx).run(
                 make_algorithm(args), "/input/edges",
@@ -155,6 +171,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         finally:
             if engine is not None:
                 engine.detach()
+            if collector is not None:
+                collector.finalize(ctx.sim_time())
+                collector.detach()
         if engine is not None:
             print(engine.describe())
         print(f"algorithm : {args.algorithm}")
@@ -184,6 +203,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"wrote metrics to {args.metrics}")
             except OSError as e:
                 print(f"error: cannot write metrics: {e}", file=sys.stderr)
+                rc = 1
+        if args.telemetry and collector is not None:
+            doc = build_telemetry_doc(
+                collector, tracer, ctx.sim_time(),
+                meta={"algorithm": args.algorithm, "seed": args.seed,
+                      "executors": args.executors,
+                      "servers": args.servers},
+                chaos=engine.report() if engine is not None else None,
+            )
+            try:
+                with open(args.telemetry, "w") as f:
+                    json.dump(doc, f, indent=2, sort_keys=True)
+                alerts = collector.alerts
+                print(f"wrote telemetry ({len(alerts)} alert(s)) to "
+                      f"{args.telemetry}; render with "
+                      f"'repro-obs report {args.telemetry}'")
+            except OSError as e:
+                print(f"error: cannot write telemetry: {e}",
+                      file=sys.stderr)
                 rc = 1
         if args.timeline:
             print()

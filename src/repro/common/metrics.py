@@ -15,37 +15,74 @@ dump lives in :func:`repro.obs.export.metrics_to_dict`.
 
 from __future__ import annotations
 
+import math
 import time
-from bisect import insort
+from bisect import bisect_right
 from collections import defaultdict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
 
 from repro.common.simclock import SimClock
+from repro.common.sketch import QuantileSketch
+
+#: Exact samples kept per histogram before switching to the sketch.
+HISTOGRAM_MAX_EXACT = 8192
 
 
 class Histogram:
     """A distribution of observed values with percentile queries.
 
-    Samples are kept sorted (simulated runs observe thousands of values,
-    not billions) so percentiles are exact, not sketched.
+    Up to :data:`HISTOGRAM_MAX_EXACT` samples are kept verbatim — sorting
+    is deferred to the first percentile query (append is O(1), the hot
+    path in big runs) — so percentiles are exact for every series a test
+    asserts on.  Past the cap the samples fold into a
+    :class:`~repro.common.sketch.QuantileSketch` and memory stays O(1)
+    while p50/p95/p99 keep a 1% relative-error bound.  count/sum/min/max
+    are tracked as scalars and stay exact in both regimes.
     """
 
-    __slots__ = ("_sorted", "_sum")
+    __slots__ = ("_samples", "_dirty", "_sum", "_count", "_min", "_max",
+                 "_max_exact", "_sketch")
 
-    def __init__(self) -> None:
-        self._sorted: List[float] = []
+    def __init__(self, max_exact: int = HISTOGRAM_MAX_EXACT) -> None:
+        self._samples: List[float] = []
+        self._dirty = False
         self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._max_exact = max_exact
+        self._sketch: QuantileSketch | None = None
 
     def observe(self, value: float) -> None:
         """Add one sample."""
-        insort(self._sorted, float(value))
+        v = float(value)
+        self._count += 1
         self._sum += value
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if self._sketch is not None:
+            self._sketch.add(v)
+            return
+        self._samples.append(v)
+        self._dirty = True
+        if len(self._samples) > self._max_exact:
+            self._sketch = QuantileSketch.from_samples(self._samples)
+            self._samples = []
+            self._dirty = False
+
+    def _sorted_samples(self) -> List[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
 
     @property
     def count(self) -> int:
         """Number of samples observed."""
-        return len(self._sorted)
+        return self._count
 
     @property
     def sum(self) -> float:
@@ -55,27 +92,35 @@ class Histogram:
     @property
     def mean(self) -> float:
         """Arithmetic mean (0.0 when empty)."""
-        return self._sum / len(self._sorted) if self._sorted else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
         """Smallest sample (0.0 when empty)."""
-        return self._sorted[0] if self._sorted else 0.0
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
         """Largest sample (0.0 when empty)."""
-        return self._sorted[-1] if self._sorted else 0.0
+        return self._max if self._count else 0.0
+
+    @property
+    def sketched(self) -> bool:
+        """Whether the series overflowed into the bounded-memory sketch."""
+        return self._sketch is not None
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0 <= q <= 100), linearly interpolated.
 
         Returns 0.0 for an empty histogram; the single sample for a
-        one-sample histogram.
+        one-sample histogram.  Exact below the sample cap; within the
+        sketch's relative-error bound above it.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile out of range: {q}")
-        values = self._sorted
+        if self._sketch is not None:
+            return self._sketch.percentile(q)
+        values = self._sorted_samples()
         if not values:
             return 0.0
         if len(values) == 1:
@@ -87,8 +132,22 @@ class Histogram:
             return values[-1]
         return values[lo] * (1.0 - frac) + values[lo + 1] * frac
 
+    def count_above(self, threshold: float) -> int:
+        """Number of samples strictly greater than ``threshold``.
+
+        The SLO engine diffs this between sim-clock ticks to classify
+        per-window good/bad events.  Exact below the sample cap; bucket
+        granularity above it.
+        """
+        if self._count == 0:
+            return 0
+        if self._sketch is not None:
+            return self._sketch.count_above(threshold)
+        values = self._sorted_samples()
+        return len(values) - bisect_right(values, float(threshold))
+
     def summary(self) -> Dict[str, float]:
-        """Compact description: count, sum, min/mean/max, p50/p95."""
+        """Compact description: count, sum, min/mean/max, p50/p95/p99."""
         return {
             "count": float(self.count),
             "sum": self.sum,
@@ -97,25 +156,39 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
 class Gauge:
-    """A point-in-time value that remembers its high-water mark."""
+    """A point-in-time value with high- and low-water marks.
 
-    __slots__ = ("value", "high", "updates")
+    The marks initialize from the *first* ``set()`` — a gauge whose
+    values are all negative reports that first value as its high-water
+    mark, not a phantom 0.0.
+    """
+
+    __slots__ = ("value", "high", "low", "updates")
 
     def __init__(self) -> None:
         self.value = 0.0
         self.high = 0.0
+        self.low = 0.0
         self.updates = 0
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = float(value)
+        v = float(value)
+        self.value = v
+        if self.updates == 0:
+            self.high = v
+            self.low = v
+        else:
+            if v > self.high:
+                self.high = v
+            if v < self.low:
+                self.low = v
         self.updates += 1
-        if value > self.high:
-            self.high = float(value)
 
 
 class MetricsRegistry:
@@ -203,9 +276,9 @@ class MetricsRegistry:
         return gauge.value if gauge is not None else 0.0
 
     def gauge_snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Copy of every gauge: ``{name: {value, high, updates}}``."""
+        """Copy of every gauge: ``{name: {value, high, low, updates}}``."""
         return {
-            name: {"value": g.value, "high": g.high,
+            name: {"value": g.value, "high": g.high, "low": g.low,
                    "updates": float(g.updates)}
             for name, g in sorted(self._gauges.items())
         }
@@ -316,8 +389,18 @@ CHAOS_FAULTS = "chaos.faults.fired"
 PS_RECOVERIES = "ps.recovery.count"
 PS_ROLLBACKS = "ps.recovery.rollbacks"
 
+ALERTS_FIRED = "obs.alerts.fired"
+
 # Well-known histogram names (populated via ``MetricsRegistry.observe``).
 TASK_DURATION_H = "dataflow.task.duration_s"
 SHUFFLE_WRITE_H = "dataflow.shuffle.write_bytes_dist"
 SHUFFLE_FETCH_H = "dataflow.shuffle.fetch_bytes_dist"
 PS_REQUEST_H = "ps.request.bytes_dist"
+PS_PULL_LATENCY_H = "ps.pull.latency_s"
+PS_PUSH_LATENCY_H = "ps.push.latency_s"
+RPC_LATENCY_H = "net.rpc.latency_s"
+
+# Well-known gauge names (liveness, sampled by the telemetry collector).
+EXECUTORS_ALIVE_G = "dataflow.executors.alive"
+PS_SERVERS_ALIVE_G = "ps.servers.alive"
+PS_SERVERS_TOTAL_G = "ps.servers.total"

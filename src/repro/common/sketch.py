@@ -1,0 +1,177 @@
+"""Streaming quantile sketch with O(1) memory per series.
+
+A DDSketch-style log-bucketed sketch: values are mapped to exponentially
+sized buckets so any percentile query carries a bounded *relative* error
+(``alpha``, default 1%).  High-volume histograms (per-request latencies in
+long simulated runs) switch to this sketch once their exact sample list
+exceeds a cap, keeping memory bounded while p50/p95/p99 stay accurate to
+within the configured relative error.
+
+Everything here is pure float arithmetic on sim-derived values — no wall
+clock, no randomness — so sketched percentiles are bit-for-bit
+reproducible across seeded double-runs (the ``repro.lint`` harness diffs
+them).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+class QuantileSketch:
+    """Log-bucketed streaming quantiles with bounded relative error.
+
+    Non-positive values (rare for the latency/byte series this backs,
+    but legal) land in a dedicated underflow bucket that reports the
+    tracked exact minimum.
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_buckets", "_zero",
+                 "_count", "_min", "_max", "_max_buckets")
+
+    def __init__(self, alpha: float = 0.01,
+                 max_buckets: int = 2048) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha out of range: {alpha}")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0            # count of values <= 0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._max_buckets = max_buckets
+
+    # -- ingest ------------------------------------------------------------
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` observations of ``value`` into the sketch."""
+        v = float(value)
+        self._count += count
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if v <= 0.0:
+            self._zero += count
+            return
+        key = math.ceil(math.log(v) / self._log_gamma)
+        self._buckets[key] = self._buckets.get(key, 0) + count
+        if len(self._buckets) > self._max_buckets:
+            self._collapse_lowest()
+
+    def _collapse_lowest(self) -> None:
+        """Merge the two lowest buckets (DDSketch collapse policy)."""
+        keys = sorted(self._buckets)
+        lo, nxt = keys[0], keys[1]
+        self._buckets[nxt] += self._buckets.pop(lo)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total observations folded in."""
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Exact smallest value (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact largest value (0.0 when empty)."""
+        return self._max if self._count else 0.0
+
+    def _bucket_value(self, key: int) -> float:
+        """Representative value for bucket ``key`` (geometric midpoint)."""
+        upper = self._gamma ** key
+        return 2.0 * upper / (1.0 + self._gamma)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), within relative error.
+
+        Exact at the extremes: q=0 returns the tracked minimum, q=100 the
+        tracked maximum; everything in between is clamped to that range.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if self._count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 100.0:
+            return self.max
+        rank = (q / 100.0) * (self._count - 1)
+        seen = float(self._zero)
+        if rank < seen:
+            return max(self._min, 0.0) if self._zero < self._count \
+                else self._min
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if rank < seen:
+                return min(max(self._bucket_value(key), self._min),
+                           self._max)
+        return self._max
+
+    def count_above(self, threshold: float) -> int:
+        """Number of observations strictly greater than ``threshold``.
+
+        Resolved at bucket granularity: a bucket counts as "above" when
+        its representative value exceeds the threshold, so the answer
+        carries the sketch's relative error at the boundary bucket.
+        """
+        t = float(threshold)
+        if self._count == 0 or t >= self._max:
+            return 0
+        if t < self._min:
+            return self._count
+        total = 0
+        for key, n in self._buckets.items():
+            if self._bucket_value(key) > t:
+                total += n
+        if t < 0.0:
+            total += self._zero
+        return total
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (bucket keys sorted for determinism)."""
+        return {
+            "alpha": self.alpha,
+            "count": self._count,
+            "min": self.min,
+            "max": self.max,
+            "zero": self._zero,
+            "buckets": [[k, self._buckets[k]]
+                        for k in sorted(self._buckets)],
+        }
+
+    @classmethod
+    def from_samples(cls, samples: List[float], alpha: float = 0.01,
+                     max_buckets: int = 2048) -> "QuantileSketch":
+        """Seed a sketch from an exact sample list."""
+        sk = cls(alpha=alpha, max_buckets=max_buckets)
+        for v in samples:
+            sk.add(v)
+        return sk
+
+
+def merge(a: QuantileSketch, b: QuantileSketch) -> QuantileSketch:
+    """Combine two sketches of equal ``alpha`` into a new one."""
+    if a.alpha != b.alpha:
+        raise ValueError("cannot merge sketches with different alpha")
+    out = QuantileSketch(alpha=a.alpha, max_buckets=a._max_buckets)
+    for src in (a, b):
+        if src._count == 0:
+            continue
+        out._count += src._count
+        out._zero += src._zero
+        out._min = min(out._min, src._min)
+        out._max = max(out._max, src._max)
+        for key, n in src._buckets.items():
+            out._buckets[key] = out._buckets.get(key, 0) + n
+    while len(out._buckets) > out._max_buckets:
+        out._collapse_lowest()
+    return out

@@ -16,7 +16,7 @@ from typing import Any, Callable, Iterable, List
 import numpy as np
 
 from repro.common.config import ClusterConfig
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import EXECUTORS_ALIVE_G, MetricsRegistry
 from repro.common.simclock import SimClock, barrier
 from repro.dataflow.executor import Executor
 from repro.obs.tracer import NOOP_TRACER, NoopTracer
@@ -29,6 +29,10 @@ from repro.yarn.resource_manager import Container, ResourceManager
 
 #: Hook signature: ``hook(stage_id, partition, kind)`` called after each task.
 TaskHook = Callable[[int, int, str], None]
+
+#: Hook signature: ``hook(now_s)`` called on sim-clock ticks (stage ends,
+#: PS barriers, recovery detection) — the telemetry sampling points.
+TickHook = Callable[[float], None]
 
 
 class SparkContext:
@@ -107,7 +111,9 @@ class SparkContext:
         self.shuffle_service = ShuffleService(cluster.cost_model, self.metrics)
         self.scheduler = DAGScheduler(self)
         self._task_hooks: List[TaskHook] = []
+        self._tick_hooks: List[TickHook] = []
         self._stopped = False
+        self._update_liveness_gauge()
         # Per-context id streams: shuffle/RDD ids must restart at 0 for
         # every application so that span tags (e.g. "shuffle-3") are
         # reproducible across runs in the same process.
@@ -225,12 +231,14 @@ class SparkContext:
         self.resource_manager.kill(executor.container, reason)
         executor.invalidate()
         self.shuffle_service.invalidate_executor(executor.id)
+        self._update_liveness_gauge()
 
     def restart_executor(self, index: int) -> Executor:
         """Restart a dead executor via the resource manager."""
         executor = self.executors[index]
         self.resource_manager.restart(executor.container)
         executor.invalidate()
+        self._update_liveness_gauge()
         return executor
 
     def handle_executor_failure(self, executor: Executor) -> None:
@@ -239,6 +247,14 @@ class SparkContext:
         self.shuffle_service.invalidate_executor(executor.id)
         if self.auto_restart_executors:
             self.resource_manager.restart(executor.container)
+        self._update_liveness_gauge()
+
+    def _update_liveness_gauge(self) -> None:
+        """Refresh the executor-liveness gauge after membership changes."""
+        self.metrics.set_gauge(
+            EXECUTORS_ALIVE_G,
+            float(sum(1 for ex in self.executors if ex.alive)),
+        )
 
     # ------------------------------------------------------------------
     # hooks & time
@@ -265,6 +281,27 @@ class SparkContext:
         """Invoke registered task hooks (called by the scheduler)."""
         for hook in list(self._task_hooks):
             hook(stage_id, partition, kind)
+
+    def add_tick_hook(self, hook: TickHook) -> None:
+        """Register a sim-clock tick callback (telemetry sampling)."""
+        self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook: TickHook) -> None:
+        """Unregister a tick callback (idempotent, like task hooks)."""
+        try:
+            self._tick_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def notify_tick(self, now_s: float) -> None:
+        """Invoke tick hooks at a deterministic sim-time sampling point.
+
+        Called at stage-end barriers, PS epoch barriers and recovery
+        detection — never from wall-clock timers, so a seeded run ticks
+        at exactly the same sim times every time.
+        """
+        for hook in list(self._tick_hooks):
+            hook(now_s)
 
     @property
     def driver_clock(self) -> SimClock:

@@ -300,4 +300,5 @@ class DAGScheduler:
                 {"stage": stage_id, "kind": kind,
                  "tasks": len(partitions), "failures": failures},
             )
+        ctx.notify_tick(end_s)
         return results

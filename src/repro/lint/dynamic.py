@@ -318,6 +318,81 @@ def _chaos_pagerank(seed: int, tracer: Tracer, metrics: MetricsRegistry
         return stats, ctx.sim_time()
 
 
+@workload("telemetry-chaos-pagerank")
+def _telemetry_chaos_pagerank(seed: int, tracer: Tracer,
+                              metrics: MetricsRegistry
+                              ) -> Tuple[Dict[str, float], float]:
+    """The chaos-pagerank schedule with the telemetry pipeline attached.
+
+    Determinism here covers the *observability* layer itself: windowed
+    series contents, SLO burn rates, alert fire/resolve sim-times, and
+    the critical-path attribution must all be bit-identical across
+    seeded double-runs — sampling may read only the sim clock.
+    """
+    from repro.chaos import ChaosEngine, FaultSchedule, FaultSpec
+    from repro.core.algorithms import PageRank
+    from repro.core.context import PSGraphContext
+    from repro.core.runner import GraphRunner
+    from repro.datasets.generators import powerlaw_graph
+    from repro.datasets.tencent import write_edges
+    from repro.obs.critical import critical_path
+    from repro.obs.telemetry import TelemetryCollector
+
+    with PSGraphContext(_small_cluster(),
+                        app_name="lint-telemetry-chaos-pagerank",
+                        metrics=metrics, tracer=tracer,
+                        checkpoint_interval=1) as ctx:
+        src, dst = powerlaw_graph(
+            400, 3000, seed=derive_seed(seed, "lint-chaos-pagerank"))
+        write_edges(ctx.hdfs, "/input/edges", src, dst, num_files=4)
+        collector = TelemetryCollector(metrics, tracer).attach(ctx.spark)
+        schedule = FaultSchedule([
+            FaultSpec("kill_executor", index=1, after_tasks=20),
+            FaultSpec("kill_server", index=0, at_epoch=4),
+        ], seed=seed)
+        engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+        engine.bind_telemetry(collector)
+        try:
+            result = GraphRunner(ctx).run(
+                PageRank(max_iterations=8, tol=1e-9), "/input/edges",
+            )
+        finally:
+            engine.detach()
+            collector.finalize(ctx.sim_time())
+            collector.detach()
+        store = collector.store
+        series_checksum = sum(
+            widx * 31.0 + value
+            for name in sorted(store.series)
+            for widx, value in store.series[name].points
+        )
+        report = critical_path(tracer.spans(), ctx.sim_time())
+        detection = engine.detection_timeline()
+        stats = {
+            "iterations": float(result.iterations),
+            "residual": float(result.stats["residual"]),
+            "faults_fired": float(len(engine.fired)),
+            "ticks": float(store.ticks),
+            "series": float(len(store.series)),
+            "series_checksum": series_checksum,
+            "alerts": float(len(collector.alerts)),
+            "alert_fired_at": [a.fired_at_s for a in collector.alerts],
+            "alert_resolved_at": [
+                a.resolved_at_s if a.resolved_at_s is not None else -1.0
+                for a in collector.alerts
+            ],
+            "max_burn_long": [
+                float(row["max_burn_long"])
+                for row in collector.engine.status()
+            ],
+            "detected": float(sum(
+                1 for row in detection
+                if row["detected_at_s"] is not None)),
+            "critical_covered_pct": report.covered_pct,
+        }
+        return stats, ctx.sim_time()
+
+
 @workload("graphsage")
 def _graphsage(seed: int, tracer: Tracer, metrics: MetricsRegistry
                ) -> Tuple[Dict[str, float], float]:

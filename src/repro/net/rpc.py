@@ -161,16 +161,20 @@ class RpcEnv:
             response_bytes = sizeof(result)
         payload = request_bytes + response_bytes
         congestion = max(1.0, concurrent_clients / max(1, num_servers))
+        transfer_s = 0.0
         if cost is not None:
             # When called from inside a dataflow task, the transfer lands
             # as a span on the task's trace row (no-op otherwise).
             with _task_span(f"rpc.{method}", cost,
                             {"endpoint": name, "bytes": payload}):
-                cost.net_s += self.cost_model.network_time(
-                    payload, congestion
-                )
-                cost.cpu_s += self.cost_model.serialization_time(payload)
+                net_s = self.cost_model.network_time(payload, congestion)
+                ser_s = self.cost_model.serialization_time(payload)
+                cost.net_s += net_s
+                cost.cpu_s += ser_s
+                transfer_s = net_s + ser_s
         if self.metrics is not None:
             self.metrics.inc(RPC_CALLS)
             self.metrics.inc(RPC_BYTES, payload)
+            if cost is not None:
+                self.metrics.observe("net.rpc.latency_s", transfer_s)
         return result

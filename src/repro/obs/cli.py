@@ -1,0 +1,147 @@
+"""``repro-obs`` — render telemetry documents into reports.
+
+``repro-obs report`` takes the JSON written by the main CLI's
+``--telemetry PATH`` flag and emits a self-contained HTML dashboard
+(and, optionally, a cleaned JSON copy), printing a short text summary to
+stdout.  ``--require-alert N`` turns the command into a smoke check: the
+exit code is 1 unless at least N alerts fired, which is how CI asserts
+that a chaos schedule was actually *detected*, not just survived::
+
+    python -m repro.cli pagerank --input edges.tsv \\
+        --chaos schedule.json --telemetry telemetry.json
+    repro-obs report telemetry.json --out dashboard.html --require-alert 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Sequence
+
+from repro.obs.dashboard import write_dashboard
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Render telemetry documents from simulated runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="render a telemetry JSON into an HTML dashboard")
+    report.add_argument("telemetry", metavar="TELEMETRY.JSON",
+                        help="document written by the main CLI's "
+                             "--telemetry flag")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the self-contained HTML dashboard "
+                             "here (default: <telemetry>.html)")
+    report.add_argument("--json", default=None, metavar="PATH",
+                        dest="json_out",
+                        help="also re-emit the document as sorted, "
+                             "indented JSON")
+    report.add_argument("--require-alert", type=int, default=0,
+                        metavar="N",
+                        help="exit 1 unless at least N alerts fired "
+                             "(CI smoke check)")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="critical-path rows to print (default 10)")
+    return parser
+
+
+def _summary_lines(doc: Dict[str, object], top: int) -> List[str]:
+    telemetry = doc.get("telemetry", {})
+    meta = doc.get("meta", {})
+    lines = []
+    if meta:
+        lines.append("run       : " + " ".join(
+            f"{k}={v}" for k, v in sorted(meta.items())))
+    lines.append(f"sim time  : {doc.get('sim_time_s', 0.0):.3f} s")
+    lines.append(f"series    : {len(telemetry.get('series', {}))} "
+                 f"({telemetry.get('ticks', 0)} ticks, window "
+                 f"{telemetry.get('window_s', 0.0):g} sim-s)")
+    for row in telemetry.get("slos", []):
+        lines.append(
+            f"slo       : {row.get('name'):<24} {row.get('state'):<10}"
+            f" alerts={row.get('alerts')} "
+            f"max_burn={row.get('max_burn_long', 0.0):.2f}"
+        )
+    for a in telemetry.get("alerts", []):
+        resolved = a.get("resolved_at_s")
+        tail = (f"resolved at {resolved:.3f} s"
+                if isinstance(resolved, (int, float)) else "still firing")
+        lines.append(
+            f"alert     : {a.get('slo')} fired at "
+            f"{a.get('fired_at_s', 0.0):.3f} s, {tail}"
+        )
+    for row in (doc.get("chaos") or {}).get("detection", []):
+        if row.get("detected_at_s") is None:
+            lines.append(f"fault     : {row.get('kind')} -> "
+                         f"{row.get('target')}: NOT detected")
+        else:
+            lines.append(
+                f"fault     : {row.get('kind')} -> {row.get('target')} "
+                f"detected by {row.get('slo')} after "
+                f"{row.get('detection_delay_s', 0.0):.3f} s"
+            )
+    cp = doc.get("critical_path")
+    if isinstance(cp, dict):
+        lines.append(f"critical  : table covers "
+                     f"{cp.get('covered_pct', 0.0):.2f}% of sim time")
+        for row in cp.get("table", [])[:top]:
+            lines.append(
+                f"  {row.get('pct', 0.0):6.2f}%  "
+                f"{row.get('seconds', 0.0):10.4f} s  {row.get('label')}"
+            )
+    return lines
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        with open(args.telemetry) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.telemetry}: {e}",
+              file=sys.stderr)
+        return 1
+    if doc.get("schema") != "repro.telemetry/v1":
+        print(f"error: {args.telemetry} is not a telemetry document "
+              f"(schema={doc.get('schema')!r})", file=sys.stderr)
+        return 1
+    rc = 0
+    out = args.out if args.out is not None else args.telemetry + ".html"
+    try:
+        n = write_dashboard(out, doc)
+        print(f"wrote dashboard ({n} bytes) to {out}")
+    except OSError as e:
+        print(f"error: cannot write dashboard: {e}", file=sys.stderr)
+        rc = 1
+    if args.json_out:
+        try:
+            with open(args.json_out, "w") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+            print(f"wrote JSON to {args.json_out}")
+        except OSError as e:
+            print(f"error: cannot write JSON: {e}", file=sys.stderr)
+            rc = 1
+    for line in _summary_lines(doc, args.top):
+        print(line)
+    alerts = len((doc.get("telemetry") or {}).get("alerts", []))
+    if args.require_alert > 0 and alerts < args.require_alert:
+        print(f"error: required >= {args.require_alert} alert(s), "
+              f"got {alerts}", file=sys.stderr)
+        rc = 1
+    return rc
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return cmd_report(args)
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

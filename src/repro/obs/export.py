@@ -93,6 +93,124 @@ def write_chrome_trace(path: str, source: TracerOrSpans) -> int:
     return len(doc["traceEvents"])  # type: ignore[arg-type]
 
 
+def validate_chrome_trace(doc: Dict[str, object]) -> List[str]:
+    """Structural checks on a Chrome-trace document; returns problems.
+
+    Verifies what the trace viewer silently mis-renders when violated:
+    every event carries a phase; ``X`` events have numeric non-negative
+    ``ts``/``dur`` and integer ``pid``/``tid``; ``B``/``E`` events match
+    per (pid, tid); instants carry a scope; metadata events name their
+    process/thread; and on every thread the ``X`` events — sorted onto
+    the timeline — are either disjoint or properly nested (our tracks
+    are serial sim timelines, so a partial overlap means a corrupted
+    trace).  An empty list means valid.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    open_stacks: Dict[Tuple[int, int], List[str]] = {}
+    x_by_thread: Dict[Tuple[int, int],
+                      List[Tuple[float, float, str]]] = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None:
+            problems.append(f"event[{i}]: missing ph")
+            continue
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                problems.append(
+                    f"event[{i}]: unknown metadata {e.get('name')!r}")
+            elif "name" not in (e.get("args") or {}):
+                problems.append(f"event[{i}]: metadata without args.name")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(e.get(field), int):
+                problems.append(f"event[{i}]: non-integer {field}")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event[{i}]: bad ts {ts!r}")
+            continue
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event[{i}]: bad dur {dur!r}")
+            else:
+                x_by_thread.setdefault(key, []).append(
+                    (float(ts), float(ts) + float(dur),
+                     str(e.get("name"))))
+        elif ph == "B":
+            open_stacks.setdefault(key, []).append(str(e.get("name")))
+        elif ph == "E":
+            stack = open_stacks.get(key)
+            if not stack:
+                problems.append(f"event[{i}]: E without matching B")
+            else:
+                stack.pop()
+        elif ph == "i":
+            if e.get("s") not in ("t", "p", "g"):
+                problems.append(f"event[{i}]: instant without scope")
+        else:
+            problems.append(f"event[{i}]: unsupported phase {ph!r}")
+    for key, stack in open_stacks.items():
+        if stack:
+            problems.append(f"thread {key}: {len(stack)} unclosed B event(s)")
+    eps = 1e-6  # one picosecond in exported microseconds
+    for key, spans in x_by_thread.items():
+        stack: List[Tuple[float, float, str]] = []
+        for start, end, name in sorted(spans,
+                                       key=lambda s: (s[0], -s[1])):
+            while stack and start >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                problems.append(
+                    f"thread {key}: {name!r} [{start}, {end}] partially "
+                    f"overlaps {stack[-1][2]!r} ending {stack[-1][1]}")
+            stack.append((start, end, name))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# span JSON round-trip
+# ----------------------------------------------------------------------
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """Lossless JSON form of one span."""
+    return {
+        "component": span.component,
+        "track": span.track,
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "tags": dict(span.tags) if span.tags else None,
+        "kind": span.kind,
+    }
+
+
+def span_from_dict(doc: Dict[str, object]) -> Span:
+    """Rebuild a span from :func:`span_to_dict` output."""
+    return Span(
+        component=str(doc["component"]),
+        track=str(doc["track"]),
+        name=str(doc["name"]),
+        start_s=float(doc["start_s"]),  # type: ignore[arg-type]
+        end_s=float(doc["end_s"]),  # type: ignore[arg-type]
+        tags=doc.get("tags"),  # type: ignore[arg-type]
+        kind=str(doc.get("kind", "span")),
+    )
+
+
+def spans_to_json(source: TracerOrSpans) -> List[Dict[str, object]]:
+    """All spans as JSON-ready dicts (recording order preserved)."""
+    return [span_to_dict(s) for s in _as_spans(source)]
+
+
+def spans_from_json(docs: Iterable[Dict[str, object]]) -> List[Span]:
+    """Rebuild spans from :func:`spans_to_json` output."""
+    return [span_from_dict(d) for d in docs]
+
+
 # ----------------------------------------------------------------------
 # plain-text timeline
 # ----------------------------------------------------------------------

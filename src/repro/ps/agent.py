@@ -122,6 +122,7 @@ class PSAgent:
         cm = psctx.spark.cluster.cost_model
         tctx = current_task_context()
         cost = tctx.cost if tctx is not None else TaskCost()
+        cost_before_s = cost.total_s
         concurrent = psctx.spark.cluster.num_executors if tctx else 1
         per_server: defaultdict = defaultdict(float)
         total = 0.0
@@ -155,6 +156,11 @@ class PSAgent:
             metrics.inc(RPC_CALLS, len(calls))
             metrics.inc(RPC_BYTES, total)
             metrics.observe(PS_REQUEST_H, total)
+            # Per-operation sim-time latency: everything this group call
+            # charged to the caller (network + serialization + injected
+            # RPC delays) — the series latency SLOs are written against.
+            metrics.observe(f"ps.{method}.latency_s",
+                            cost.total_s - cost_before_s)
         if tctx is None:
             # Driver-side operation: advance the driver clock and, when
             # tracing, record the span on the driver's "ps-agent" track.

@@ -28,6 +28,8 @@ from repro.common.metrics import (
     PS_CHECKPOINTS,
     PS_RECOVERIES,
     PS_ROLLBACKS,
+    PS_SERVERS_ALIVE_G,
+    PS_SERVERS_TOTAL_G,
 )
 from repro.dataflow.context import SparkContext
 from repro.ps.agent import PSAgent
@@ -116,6 +118,8 @@ class PSContext:
         self._iteration_driven = False
         #: ``progress`` value captured by the most recent checkpoint.
         self._ckpt_progress = 0
+        spark.metrics.set_gauge(PS_SERVERS_TOTAL_G, float(num_servers))
+        self.update_liveness_gauge()
 
     # ------------------------------------------------------------------
     # topology
@@ -328,6 +332,19 @@ class PSContext:
         self.spark.resource_manager.kill(server.container)
         server.wipe()
         self.spark.rpc.kill(server.id)
+        self.update_liveness_gauge()
+
+    def update_liveness_gauge(self) -> None:
+        """Refresh the server-liveness gauge (kills, recoveries).
+
+        The telemetry collector's availability SLO probes this gauge at
+        sim-clock ticks: any tick where ``alive < total`` burns error
+        budget, which is what turns a kill-server fault into an alert.
+        """
+        self.spark.metrics.set_gauge(
+            PS_SERVERS_ALIVE_G,
+            float(sum(1 for s in self.servers if s.container.alive)),
+        )
 
     def recover(self, mode: str = "relaxed") -> List[int]:
         """Detect and recover dead servers (see :class:`PSMaster`)."""
@@ -428,6 +445,7 @@ class PSContext:
                 and self.checkpoint_interval > 0
                 and self.sync.epoch % self.checkpoint_interval == 0):
             self.checkpoint_all()
+        self.spark.notify_tick(self.spark.sim_time())
         return t
 
     def stop(self) -> None:

@@ -80,6 +80,12 @@ class PSMaster:
         if not dead:
             return []
         recovery_start_s = psctx.spark.driver_clock.now_s
+        # Detection point: the dead servers are known but not yet
+        # restarted.  Refresh the liveness gauge and tick the telemetry
+        # collector here so the availability SLO sees a degraded probe
+        # with a sim timestamp between fault injection and recovery end.
+        psctx.update_liveness_gauge()
+        psctx.spark.notify_tick(recovery_start_s)
         dead_set = set(dead)
         restore_all = mode == "strict"
         # Phase 1: verify every checkpoint this restore will need BEFORE
@@ -106,6 +112,7 @@ class PSMaster:
             psctx.spark.resource_manager.restart(server.container)
             server.wipe()
             psctx.spark.rpc.revive(server.id, server)
+        psctx.update_liveness_gauge()
         # Phase 3: reload from the verified plan.
         for meta, pid, sidx, path in plan:
             psctx.servers[sidx].restore_partition(meta, pid, path)
@@ -129,4 +136,5 @@ class PSMaster:
                 {"mode": mode,
                  "servers": [psctx.servers[i].id for i in dead]},
             )
+        psctx.spark.notify_tick(end_s)
         return dead

@@ -163,6 +163,39 @@ class TestMetrics:
         assert "b.two" not in out
 
 
+class TestGaugeWaterMarks:
+    def test_low_water_tracks_minimum(self):
+        r = MetricsRegistry()
+        r.set_gauge("g", 5.0)
+        r.set_gauge("g", 2.0)
+        r.set_gauge("g", 4.0)
+        snap = r.gauge_snapshot()["g"]
+        assert snap["value"] == 4.0
+        assert snap["high"] == 5.0
+        assert snap["low"] == 2.0
+        assert snap["updates"] == 3
+
+    def test_negative_initialization_sets_both_marks(self):
+        # The first set() seeds high AND low from the observed value —
+        # a gauge initialized to -3 must not report high == 0.
+        r = MetricsRegistry()
+        r.set_gauge("g", -3.0)
+        snap = r.gauge_snapshot()["g"]
+        assert snap["high"] == -3.0
+        assert snap["low"] == -3.0
+        r.set_gauge("g", -1.0)
+        snap = r.gauge_snapshot()["g"]
+        assert snap["high"] == -1.0
+        assert snap["low"] == -3.0
+
+    def test_single_update_marks_equal_value(self):
+        r = MetricsRegistry()
+        r.set_gauge("g", 7.5)
+        snap = r.gauge_snapshot()["g"]
+        assert snap["value"] == snap["high"] == snap["low"] == 7.5
+        assert snap["updates"] == 1
+
+
 class TestSizeof:
     def test_numpy_exact(self):
         a = np.zeros(10, dtype=np.float64)

@@ -18,7 +18,10 @@ from repro.obs import (
     Tracer,
     chrome_trace,
     metrics_to_dict,
+    spans_from_json,
+    spans_to_json,
     timeline_report,
+    validate_chrome_trace,
     write_chrome_trace,
     write_metrics_json,
 )
@@ -262,6 +265,85 @@ class TestChromeTrace:
         xs = {e["name"]: e["pid"] for e in doc["traceEvents"]
               if e["ph"] == "X"}
         assert xs["s1"] != xs["s2"]
+
+
+class TestChromeTraceValidation:
+    def test_valid_document_has_no_problems(self):
+        t = Tracer()
+        t.add("driver", "stages", "stage 0", 0.0, 2.0, {"tasks": 4})
+        t.add("executor-0", "s0.p0", "task", 0.0, 1.0)
+        t.add("executor-0", "s0.p0", "ps.pull", 0.2, 0.5)  # nested
+        t.instant("driver", "iterations", "iteration", 2.0)
+        assert validate_chrome_trace(chrome_trace(t)) == []
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"]
+
+    def test_flags_missing_phase_and_bad_fields(self):
+        doc = {"traceEvents": [
+            {"name": "x"},
+            {"ph": "X", "pid": "a", "tid": 1, "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": -5.0, "dur": 1.0},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1.0},
+            {"ph": "q", "pid": 1, "tid": 1, "ts": 0.0},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing ph" in p for p in problems)
+        assert any("non-integer pid" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+        assert any("unsupported phase" in p for p in problems)
+
+    def test_flags_partial_overlap_on_one_thread(self):
+        # Two X spans that overlap without nesting: a corrupted serial
+        # timeline the viewer would silently mis-render.
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 5.0, "dur": 10.0},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("partially overlaps" in p for p in problems)
+
+    def test_flags_unclosed_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0.0},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("unclosed B" in p for p in problems)
+
+    def test_real_run_trace_validates(self):
+        tracer = Tracer()
+        _run_pagerank(tracer)
+        assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+
+class TestSpanRoundTrip:
+    def test_spans_round_trip_losslessly(self):
+        t = Tracer()
+        t.add("driver", "stages", "stage 0", 0.0, 1.5,
+              {"tasks": 4, "kind": "shuffle-0"})
+        t.add("executor-1", "s0.p1", "task", 0.25, 1.0)
+        t.instant("driver", "chaos", "chaos.kill_executor", 0.5,
+                  {"target": "executor-1"})
+        docs = spans_to_json(t)
+        text = json.dumps(docs)  # survives actual JSON encoding
+        rebuilt = spans_from_json(json.loads(text))
+        assert len(rebuilt) == len(t.spans())
+        for a, b in zip(t.spans(), rebuilt):
+            assert (a.component, a.track, a.name, a.kind) == \
+                   (b.component, b.track, b.name, b.kind)
+            assert a.start_s == b.start_s and a.end_s == b.end_s
+            assert (a.tags or None) == (b.tags or None)
+
+    def test_instant_kind_preserved(self):
+        t = Tracer()
+        t.instant("driver", "alerts", "alert x", 3.0)
+        [span] = spans_from_json(spans_to_json(t))
+        assert span.kind == INSTANT
+        assert span.start_s == span.end_s == 3.0
 
 
 class TestTimelineReport:

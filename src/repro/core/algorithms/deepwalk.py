@@ -102,10 +102,14 @@ class DeepWalk(GraphAlgorithm):
                     adj, vertices, params.walk_length,
                     params.walks_per_vertex, params.return_param, rng,
                 )
+                # Walk sampling + pair extraction burn CPU even when no
+                # trainable pair comes out (tiny partitions, window >
+                # walk length), so charge before the emptiness check —
+                # the `continue` path must not be a free ride.
+                charge_primitive_compute(cost_model, walks.size)
                 centers, contexts = _skipgram_pairs(walks, params.window)
                 if len(centers) == 0:
                     continue
-                charge_primitive_compute(cost_model, walks.size)
                 loss += _sgd(emb, centers, contexts, n, params, rng)
                 pairs += len(centers) * (1 + params.negative)
             return loss, pairs

@@ -60,4 +60,9 @@ def pregel(graph: Graph, initial: Callable[[np.ndarray], np.ndarray],
             if delta <= tol:
                 break
     ids, attrs = graph.collect_vertices()
+    # Result collection crosses executors -> driver; charge it like
+    # rdd.collect() does.
+    nbytes = ids.nbytes + (attrs.nbytes if isinstance(attrs, np.ndarray)
+                           else len(attrs) * 8)
+    graph.ctx.charge_driver_result(int(nbytes))
     return ids, attrs, iterations

@@ -1,0 +1,95 @@
+"""Finding baselines: accept today's debt, fail on anything new.
+
+A baseline is a committed JSON file (conventionally
+``lint-baseline.json`` at the repository root) mapping violation
+*fingerprints* to accepted occurrence counts.  Linting against it
+subtracts up to that many matching findings per fingerprint, so
+pre-existing, deliberately-kept findings do not fail CI while any new
+finding — or an extra occurrence of a baselined one — still does.
+
+Fingerprints deliberately exclude line and column numbers: unrelated
+edits that shift a finding up or down the file must not invalidate the
+baseline.  They include the rule id, the module-relative path, and a
+short hash of the message, which for the SIM1xx rules embeds the
+function and callee names — specific enough that a *different* finding
+in the same file does not silently ride along.
+
+Workflow::
+
+    python -m repro.lint src/repro --write-baseline   # accept current
+    python -m repro.lint src/repro                    # auto-detects it
+
+Shrink the file over time by fixing findings and re-writing; a stale
+entry (baselined finding that no longer occurs) is reported by
+:func:`apply_baseline` so CI can keep the file honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.rules import Violation
+
+#: Conventional baseline file name, auto-detected by the CLI.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(v: Violation) -> str:
+    """Stable identity of a finding: ``RULE|path|msghash``."""
+    digest = hashlib.sha256(v.message.encode("utf-8")).hexdigest()[:12]
+    return f"{v.rule_id}|{v.path}|{digest}"
+
+
+def write_baseline(violations: Sequence[Violation],
+                   path: str | Path) -> Dict[str, int]:
+    """Write ``path`` accepting every given violation; returns entries."""
+    entries: Dict[str, int] = {}
+    for v in violations:
+        fp = fingerprint(v)
+        entries[fp] = entries.get(fp, 0) + 1
+    doc = {
+        "version": _FORMAT_VERSION,
+        "comment": ("Accepted repro-lint findings; regenerate with "
+                    "`python -m repro.lint src/repro --write-baseline`. "
+                    "Each entry is RULE|path|message-hash -> count."),
+        "entries": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n",
+                          encoding="utf-8")
+    return entries
+
+
+def load_baseline(path: str | Path) -> Dict[str, int]:
+    """Read a baseline file; returns fingerprint -> accepted count."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = doc.get("entries", {})
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Dict[str, int],
+) -> Tuple[List[Violation], int, List[str]]:
+    """Split findings into (new, suppressed count, stale fingerprints).
+
+    Matching is per fingerprint with a count budget: the baseline
+    absorbs at most ``entries[fp]`` findings of each fingerprint; any
+    surplus is new.  Fingerprints with leftover budget are stale —
+    their finding was fixed and the baseline should be regenerated.
+    """
+    budget = dict(entries)
+    fresh: List[Violation] = []
+    suppressed = 0
+    for v in violations:
+        fp = fingerprint(v)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            fresh.append(v)
+    stale = sorted(fp for fp, left in budget.items() if left > 0)
+    return fresh, suppressed, stale

@@ -1,0 +1,595 @@
+"""Interprocedural function summaries for the SIM1xx rules.
+
+The syntactic rules (SIM001..SIM005) see one expression at a time; the
+flow rules need to know what a *callee* does: ``schedule()`` is clean in
+isolation, but if it calls ``helper()`` which calls ``time.time()``, the
+wall-clock taint must surface at every caller.  This module computes a
+conservative **effect summary** per function and propagates it over a
+best-effort call graph to a fixpoint.
+
+Facts tracked per function (:class:`FunctionSummary.effects`):
+
+* ``wall_clock`` — may read the host clock (``time.time`` family).
+* ``unseeded_rng`` — may draw from an unseeded generator (ambient
+  ``random``, module-level ``numpy.random`` draws, or a zero-argument
+  ``default_rng()`` / ``Random()``); a call to such a function is a
+  taint *source* for SIM104.
+* ``unmetered_io`` — may perform host file/socket IO directly.
+* ``moves_bytes`` — may perform byte-moving work (file/socket IO,
+  pickling, numpy materializations); SIM103 demands such functions
+  charge the cost model.
+* ``charges_metering`` — charges ``TaskCost`` / advances a sim clock /
+  opens a metering span somewhere.
+* ``returns_resource`` — may return an open resource (file handle or
+  span scope); a call to such a function is a resource *source* for
+  SIM105.
+
+Call resolution is deliberately modest — exactly the cases that are
+unambiguous from the source text:
+
+* plain names defined in the same module (including nested defs),
+* ``from repro.x.y import f`` / ``import repro.x.y as m; m.f(...)``,
+* ``self.method(...)`` within the same class,
+* ``p.method(...)`` where ``p`` is a parameter annotated with a
+  ``repro`` class (``def kcore(graph: Graph, ...)``) — the annotation
+  names the receiver type, so the method summary is unambiguous.
+
+Anything else (arbitrary ``obj.method(...)``) resolves to nothing and
+contributes no effects: the summaries under-approximate unknown code
+rather than drowning callers in speculative taint.  The propagated
+effects are ``wall_clock``, ``unseeded_rng``, ``unmetered_io`` and
+``moves_bytes``; ``charges_metering`` also propagates (a callee that
+charges satisfies the caller's metering obligation at the call node),
+while ``returns_resource`` stays local to the returning function by
+design — the *caller* holding the handle is the one on the hook, which
+is rule SIM105's job to check at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.rules import (
+    _WALL_CLOCK,
+    _NP_RANDOM_OK,
+    _OS_IO,
+    _OS_PATH_IO,
+    _dotted,
+    _import_aliases,
+    _resolve,
+)
+
+# Effect names.
+WALL_CLOCK = "wall_clock"
+UNSEEDED_RNG = "unseeded_rng"
+UNMETERED_IO = "unmetered_io"
+MOVES_BYTES = "moves_bytes"
+CHARGES_METERING = "charges_metering"
+RETURNS_RESOURCE = "returns_resource"
+
+#: Effects that flow from callee to caller at the fixpoint.
+PROPAGATED = frozenset({
+    WALL_CLOCK, UNSEEDED_RNG, UNMETERED_IO, MOVES_BYTES, CHARGES_METERING,
+})
+
+#: numpy array materializations big enough to count as byte-moving work.
+_NP_BYTE_MOVERS = {
+    "copy", "concatenate", "ascontiguousarray", "frombuffer", "vstack",
+    "hstack", "stack", "repeat", "tile", "resize",
+}
+
+#: Function/method names whose call charges the cost model or opens a
+#: metering span.  Receiver-insensitive on purpose: `clock.advance`,
+#: `self.clock.advance`, `tracer.cost_span` all count.
+_METERING_CALLS = {
+    "advance", "task_span", "cost_span", "clock_span", "metered",
+    "charge", "charge_cost", "charge_driver_result",
+    "accumulate_sequential",
+}
+
+#: Attribute tails whose (aug)assignment charges a TaskCost.
+_COST_FIELDS = {"cpu_s", "net_s", "disk_s"}
+
+#: Callables whose result is an open resource needing close/release.
+_RESOURCE_OPENERS = {
+    "open", "io.open", "task_span", "cost_span", "clock_span",
+    "socket.socket",
+}
+
+#: Methods that release a resource.
+RESOURCE_RELEASERS = {"close", "release", "stop", "end", "done", "__exit__"}
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow rules need to know about one function.
+
+    Attributes:
+        qualname: ``relpath::Class.name`` (module-unique).
+        relpath: package-relative module path.
+        name: bare function name.
+        lineno: definition line.
+        effects: resolved effect set (after fixpoint propagation).
+        local_effects: effects observed directly in the body.
+        calls: resolved callee qualnames.
+    """
+
+    qualname: str
+    relpath: str
+    name: str
+    lineno: int
+    effects: Set[str] = field(default_factory=set)
+    local_effects: Set[str] = field(default_factory=set)
+    calls: Set[str] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serializable form (for the incremental cache)."""
+        return {
+            "qualname": self.qualname,
+            "relpath": self.relpath,
+            "name": self.name,
+            "lineno": self.lineno,
+            "local_effects": sorted(self.local_effects),
+            "calls": sorted(self.calls),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FunctionSummary":
+        return cls(
+            qualname=str(doc["qualname"]),
+            relpath=str(doc["relpath"]),
+            name=str(doc["name"]),
+            lineno=int(doc["lineno"]),  # type: ignore[arg-type]
+            local_effects=set(doc.get("local_effects", ())),
+            calls=set(doc.get("calls", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# local effect extraction
+# ----------------------------------------------------------------------
+
+
+def _call_effects(full: str) -> Set[str]:
+    """Effects implied by calling the fully-resolved name ``full``."""
+    out: Set[str] = set()
+    parts = full.split(".")
+    if full in _WALL_CLOCK:
+        out.add(WALL_CLOCK)
+    if parts[0] == "random":
+        # `random.Random(seed)` is seeded construction; everything else
+        # on the ambient module draws global state.
+        if not (len(parts) == 2 and parts[1] in ("Random", "SystemRandom",
+                                                 "seed")):
+            out.add(UNSEEDED_RNG)
+    if len(parts) >= 3 and parts[0] == "numpy" and parts[1] == "random" \
+            and parts[2] not in _NP_RANDOM_OK:
+        out.add(UNSEEDED_RNG)
+    is_file_io = (
+        full in ("open", "io.open")
+        or (parts[0] == "os" and len(parts) == 2 and parts[1] in _OS_IO)
+        or (parts[0] == "os" and len(parts) == 3 and parts[1] == "path"
+            and parts[2] in _OS_PATH_IO)
+        or parts[0] in ("shutil", "tempfile")
+        or full.startswith("socket.")
+    )
+    if is_file_io:
+        out.add(UNMETERED_IO)
+        out.add(MOVES_BYTES)
+    if parts[0] == "pickle" and parts[-1] in ("dumps", "loads", "dump",
+                                              "load"):
+        out.add(MOVES_BYTES)
+    if parts[0] == "numpy" and len(parts) == 2 \
+            and parts[1] in _NP_BYTE_MOVERS:
+        out.add(MOVES_BYTES)
+    return out
+
+
+def _is_unseeded_ctor(node: ast.Call, full: str) -> bool:
+    """``default_rng()`` / ``Random()`` with no seed argument."""
+    tail = full.rsplit(".", 1)[-1]
+    if tail in ("default_rng", "Random", "RandomState"):
+        return not node.args and not node.keywords
+    return False
+
+
+def _module_class_map(relpath: str, tree: ast.AST) -> Dict[str, str]:
+    """Top-level class name -> fully-qualified ``repro.`` dotted name."""
+    mod = _module_name(relpath)
+    return {
+        child.name: f"{mod}.{child.name}"
+        for child in ast.iter_child_nodes(tree)
+        if isinstance(child, ast.ClassDef)
+    }
+
+
+def annotated_param_types(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: Dict[str, str],
+    class_map: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """Parameter name -> fully-qualified ``repro`` class, when annotated.
+
+    Only annotations that resolve to a ``repro.`` class (through the
+    module's imports, or ``class_map`` for classes defined in the same
+    module) are kept — foreign types tell us nothing about summaries.
+    """
+    out: Dict[str, str] = {}
+    args = func.args
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        if a.annotation is None:
+            continue
+        dotted = _dotted(a.annotation)
+        if dotted is None and isinstance(a.annotation, ast.Constant) \
+                and isinstance(a.annotation.value, str):
+            dotted = a.annotation.value
+        if not dotted:
+            continue
+        full = _resolve(dotted, aliases)
+        if not full.startswith("repro.") and class_map:
+            full = class_map.get(full, full)
+        if full.startswith("repro."):
+            out[a.arg] = full
+    return out
+
+
+class _LocalEffects(ast.NodeVisitor):
+    """Collects a function body's direct effects and callee names.
+
+    Nested function definitions are skipped — they are separate summary
+    subjects; their effects reach the parent only if the parent *calls*
+    them, which the call graph records.
+    """
+
+    def __init__(self, aliases: Dict[str, str],
+                 param_types: Optional[Dict[str, str]] = None) -> None:
+        self.aliases = aliases
+        self.param_types = param_types or {}
+        self.effects: Set[str] = set()
+        #: raw callee expressions for the resolver: ("name", "f") for a
+        #: plain call, ("self", "m") for self.m(), ("dotted", "a.b.f")
+        #: for alias-qualified calls.
+        self.raw_calls: List[Tuple[str, str]] = []
+        self.returns_resource = False
+        self._resource_names: Set[str] = set()
+        self._depth = 0
+
+    # -- scope fencing -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._depth == 0:
+            self._depth += 1
+            self.generic_visit(node)
+            self._depth -= 1
+        # nested def: don't descend
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body runs when called, usually via an RDD op whose
+        # executor-side effects the closure rules inspect separately.
+        return
+
+    # -- effects -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            full = _resolve(dotted, self.aliases)
+            self.effects |= _call_effects(full)
+            if _is_unseeded_ctor(node, full):
+                self.effects.add(UNSEEDED_RNG)
+            tail = full.rsplit(".", 1)[-1]
+            if tail in _METERING_CALLS:
+                self.effects.add(CHARGES_METERING)
+            # record for call-graph resolution
+            if isinstance(node.func, ast.Name):
+                self.raw_calls.append(("name", node.func.id))
+            elif isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Name) and recv.id == "self":
+                    self.raw_calls.append(("self", node.func.attr))
+                elif isinstance(recv, ast.Name) \
+                        and recv.id in self.param_types:
+                    self.raw_calls.append((
+                        "dotted",
+                        f"{self.param_types[recv.id]}.{node.func.attr}",
+                    ))
+                else:
+                    self.raw_calls.append(("dotted", full))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Attribute) \
+                and node.target.attr in _COST_FIELDS:
+            self.effects.add(CHARGES_METERING)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            if isinstance(t, ast.Attribute) and t.attr in _COST_FIELDS:
+                self.effects.add(CHARGES_METERING)
+        # Track names bound to fresh resources, for returns_resource.
+        if isinstance(node.value, ast.Call):
+            dotted = _dotted(node.value.func)
+            if dotted is not None \
+                    and _resolve(dotted, self.aliases) in _RESOURCE_OPENERS:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self._resource_names.add(t.id)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is not None \
+                    and _resolve(dotted, self.aliases) in _RESOURCE_OPENERS:
+                self.returns_resource = True
+        elif isinstance(value, ast.Name) \
+                and value.id in self._resource_names:
+            self.returns_resource = True
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# program index + fixpoint
+# ----------------------------------------------------------------------
+
+
+def _module_name(relpath: str) -> str:
+    """``dataflow/rdd.py`` -> ``repro.dataflow.rdd``."""
+    stem = relpath[:-3] if relpath.endswith(".py") else relpath
+    if stem.endswith("/__init__"):
+        stem = stem[: -len("/__init__")]
+    return "repro." + stem.replace("/", ".") if stem else "repro"
+
+
+@dataclass
+class _FuncInfo:
+    node: ast.AST
+    qualname: str
+    relpath: str
+    cls: Optional[str]
+
+
+class ProgramIndex:
+    """Function summaries for a set of modules, resolved to a fixpoint.
+
+    Build incrementally: feed every module with :meth:`add_module` (or
+    pre-computed summaries with :meth:`add_summaries` when a cache knows
+    the file did not change), then call :meth:`resolve`.
+    """
+
+    def __init__(self) -> None:
+        self.summaries: Dict[str, FunctionSummary] = {}
+        #: bare name -> qualnames (cross-module fallback resolution).
+        self._by_name: Dict[str, Set[str]] = {}
+        #: (relpath, Class.name) and (relpath, name) -> qualname.
+        self._by_module: Dict[Tuple[str, str], str] = {}
+        self._resolved = False
+
+    # -- construction -------------------------------------------------
+
+    def add_module(self, relpath: str, tree: ast.AST) -> List[FunctionSummary]:
+        """Summarize every function in one parsed module."""
+        aliases = _import_aliases(tree)
+        class_map = _module_class_map(relpath, tree)
+        out: List[FunctionSummary] = []
+        for func, cls in _iter_functions(tree):
+            qual = f"{relpath}::{cls + '.' if cls else ''}{func.name}"
+            collector = _LocalEffects(
+                aliases, annotated_param_types(func, aliases, class_map))
+            collector.visit(func)
+            summary = FunctionSummary(
+                qualname=qual, relpath=relpath, name=func.name,
+                lineno=func.lineno,
+                local_effects=set(collector.effects),
+            )
+            if collector.returns_resource:
+                summary.local_effects.add(RETURNS_RESOURCE)
+            summary.calls = self._resolve_raw_calls(
+                collector.raw_calls, relpath, cls, aliases)
+            self._register(summary, cls)
+            out.append(summary)
+        self._resolved = False
+        return out
+
+    def add_summaries(self, summaries: Iterable[FunctionSummary]) -> None:
+        """Install pre-computed local summaries (cache restore path)."""
+        for s in summaries:
+            cls = None
+            bare = s.qualname.rsplit("::", 1)[-1]
+            if "." in bare:
+                cls = bare.split(".", 1)[0]
+            self._register(s, cls)
+        self._resolved = False
+
+    def _register(self, summary: FunctionSummary, cls: Optional[str]) -> None:
+        # Rebuild effects from local on every (re)registration so a
+        # stale propagated set never leaks across resolves.
+        summary.effects = set(summary.local_effects)
+        self.summaries[summary.qualname] = summary
+        self._by_name.setdefault(summary.name, set()).add(summary.qualname)
+        key_bare = (summary.relpath, summary.name)
+        self._by_module.setdefault(key_bare, summary.qualname)
+        if cls:
+            self._by_module[(summary.relpath, f"{cls}.{summary.name}")] = \
+                summary.qualname
+
+    def _resolve_raw_calls(self, raw: List[Tuple[str, str]], relpath: str,
+                           cls: Optional[str],
+                           aliases: Dict[str, str]) -> Set[str]:
+        """Turn collected call expressions into candidate qualnames.
+
+        Resolution happens lazily against the *final* index at fixpoint
+        time for cross-module names, so here we normalize to resolvable
+        keys: ``mod:relpath:bare`` / ``cls:relpath:Class.bare`` /
+        ``imp:repro.x.y.f`` markers.
+        """
+        out: Set[str] = set()
+        for kind, name in raw:
+            if kind == "name":
+                full = aliases.get(name)
+                if full and full.startswith("repro."):
+                    out.add(f"imp:{full}")
+                else:
+                    out.add(f"mod:{relpath}:{name}")
+            elif kind == "self" and cls:
+                out.add(f"cls:{relpath}:{cls}.{name}")
+            elif kind == "dotted":
+                # `m.f(...)` where m aliases a repro module.
+                if name.startswith("repro."):
+                    out.add(f"imp:{name}")
+        return out
+
+    # -- fixpoint -----------------------------------------------------
+
+    def _lookup(self, key: str) -> Optional[FunctionSummary]:
+        """Resolve one call key to a summary, if the target is indexed."""
+        if key.startswith("mod:") or key.startswith("cls:"):
+            _, relpath, bare = key.split(":", 2)
+            qual = self._by_module.get((relpath, bare))
+            if qual is None and key.startswith("cls:") and "." in bare:
+                # fall back to a module-level function of the same name
+                qual = self._by_module.get((relpath, bare.split(".", 1)[1]))
+            return self.summaries.get(qual) if qual else None
+        if key.startswith("imp:"):
+            # `repro.a.b.f` -> module a/b.py, function f (possibly a
+            # re-export through a package __init__; try both).
+            dotted = key[4:]
+            mod, _, func = dotted.rpartition(".")
+            if not mod.startswith("repro"):
+                return None
+            sub = mod[len("repro"):].lstrip(".").replace(".", "/")
+            for rel in (f"{sub}.py" if sub else "__init__.py",
+                        f"{sub}/__init__.py" if sub else "__init__.py"):
+                qual = self._by_module.get((rel, func))
+                if qual:
+                    return self.summaries.get(qual)
+            # class-qualified: `repro.a.b.Class.method` -> module a/b.py,
+            # entry "Class.method" (annotation-guided receiver calls).
+            mod2, _, clsname = mod.rpartition(".")
+            if mod2.startswith("repro"):
+                sub2 = mod2[len("repro"):].lstrip(".").replace(".", "/")
+                for rel in (f"{sub2}.py" if sub2 else "__init__.py",
+                            f"{sub2}/__init__.py" if sub2
+                            else "__init__.py"):
+                    qual = self._by_module.get((rel, f"{clsname}.{func}"))
+                    if qual:
+                        return self.summaries.get(qual)
+            # last resort: unique bare-name match anywhere
+            quals = self._by_name.get(func, ())
+            if len(quals) == 1:
+                return self.summaries[next(iter(quals))]
+        return None
+
+    def resolve(self) -> None:
+        """Propagate effects over the call graph to a fixpoint."""
+        if self._resolved:
+            return
+        for s in self.summaries.values():
+            s.effects = set(s.local_effects)
+        changed = True
+        while changed:
+            changed = False
+            for s in self.summaries.values():
+                for key in s.calls:
+                    callee = self._lookup(key)
+                    if callee is None:
+                        continue
+                    gained = (callee.effects & PROPAGATED) - s.effects
+                    if gained:
+                        s.effects |= gained
+                        changed = True
+        self._resolved = True
+
+    # -- queries used by the rules ------------------------------------
+
+    def effects_of_call(self, call: ast.Call, relpath: str,
+                        cls: Optional[str],
+                        aliases: Dict[str, str]) -> FrozenSet[str]:
+        """Resolved effects of one call expression (empty if unknown)."""
+        self.resolve()
+        summary = self.summary_for_call(call, relpath, cls, aliases)
+        if summary is None:
+            return frozenset()
+        return frozenset(summary.effects | (
+            {RETURNS_RESOURCE} if RETURNS_RESOURCE in summary.local_effects
+            else set()))
+
+    def summary_for_call(self, call: ast.Call, relpath: str,
+                         cls: Optional[str],
+                         aliases: Dict[str, str],
+                         param_types: Optional[Dict[str, str]] = None,
+                         ) -> Optional[FunctionSummary]:
+        """The callee's summary for one call expression, if resolvable.
+
+        ``param_types`` (see :func:`annotated_param_types`) lets calls
+        on annotated parameters resolve to the annotated class's
+        methods.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            full = aliases.get(func.id)
+            if full and full.startswith("repro."):
+                return self._lookup(f"imp:{full}")
+            return self._lookup(f"mod:{relpath}:{func.id}")
+        if isinstance(func, ast.Attribute):
+            recv = func.value
+            if isinstance(recv, ast.Name) and recv.id == "self" and cls:
+                return self._lookup(f"cls:{relpath}:{cls}.{func.attr}")
+            if isinstance(recv, ast.Name) and param_types \
+                    and recv.id in param_types:
+                return self._lookup(
+                    f"imp:{param_types[recv.id]}.{func.attr}")
+            dotted = _dotted(func)
+            if dotted is not None:
+                full = _resolve(dotted, aliases)
+                if full.startswith("repro."):
+                    return self._lookup(f"imp:{full}")
+        return None
+
+    def digest(self) -> str:
+        """Stable hash of the resolved summary table.
+
+        Cached per-file findings stay valid exactly while this digest is
+        unchanged: the flow rules read nothing else across file
+        boundaries.
+        """
+        import hashlib
+
+        self.resolve()
+        h = hashlib.sha256()
+        for qual in sorted(self.summaries):
+            s = self.summaries[qual]
+            h.update(qual.encode())
+            h.update(",".join(sorted(s.effects)).encode())
+            h.update(b";")
+        return h.hexdigest()
+
+
+def _iter_functions(tree: ast.AST):
+    """Yield (function node, enclosing class name or None), all depths."""
+    stack: List[Tuple[ast.AST, Optional[str]]] = [(tree, None)]
+    while stack:
+        node, cls = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                stack.append((child, cls))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, child.name))
+            else:
+                stack.append((child, cls))
+
+
+def build_index(modules: Iterable[Tuple[str, ast.AST]]) -> ProgramIndex:
+    """Index + fixpoint over ``(relpath, parsed tree)`` pairs."""
+    index = ProgramIndex()
+    for relpath, tree in modules:
+        index.add_module(relpath, tree)
+    index.resolve()
+    return index

@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 output for repro-lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading the
+file produced here (``--sarif``) via ``github/codeql-action/upload-sarif``
+turns every finding into an inline PR annotation.
+
+Only the required core of the format is emitted — one ``run`` with a
+``tool.driver`` describing the rule set and one ``result`` per
+violation, each carrying a ``physicalLocation``.  Paths are emitted
+as-is (repo-relative when the linter was invoked from the repo root),
+which is what the code-scanning UI expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.rules import Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Tool metadata for the driver object.
+_TOOL_NAME = "repro-lint"
+_TOOL_INFO_URI = "docs/static-analysis.md"
+
+
+def to_sarif(violations: Sequence[Violation],
+             rules: Sequence[Rule]) -> Dict[str, object]:
+    """The findings as a SARIF 2.1.0 log (as a JSON-ready dict)."""
+    rule_objs: List[Dict[str, object]] = []
+    index: Dict[str, int] = {}
+    for rule in rules:
+        index[rule.id] = len(rule_objs)
+        rule_objs.append({
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results: List[Dict[str, object]] = []
+    for v in violations:
+        result: Dict[str, object] = {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, v.line),
+                        "startColumn": max(1, v.col + 1),
+                    },
+                },
+            }],
+        }
+        if v.rule_id in index:
+            result["ruleIndex"] = index[v.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _TOOL_INFO_URI,
+                    "rules": rule_objs,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(violations: Sequence[Violation],
+                 rules: Sequence[Rule]) -> str:
+    """The SARIF log serialized to indented JSON."""
+    return json.dumps(to_sarif(violations, rules), indent=2) + "\n"

@@ -35,7 +35,7 @@ FEATURE_DIM = 16
 #: counters — shuffle volumes, PS request counts, HDFS bytes — so for a
 #: fixed case they are bit-identical on every host, unlike the wall-clock
 #: fields next to them.
-METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.")
+METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.", "serve.")
 
 
 def _spark() -> SparkContext:
@@ -256,6 +256,63 @@ def case_lint_incremental(n: int) -> Dict:
     )
 
 
+def case_serve_qps(n: int) -> Dict:
+    """Online serving throughput: naive per-request pulls vs the plane.
+
+    Boxed replays ``n`` Zipfian lookups as one single-key agent pull
+    each — no batching, no caching, the loop a client library would
+    write.  Batched routes the same stream through the
+    :class:`~repro.serve.plane.ServingPlane`: quantum micro-batching
+    dedupes keys, the hot-key cache absorbs the skewed head, and only
+    cold keys reach the servers.
+    """
+    from repro.serve.plane import ServingPlane
+    from repro.serve.workload import RequestGenerator, default_tenants
+
+    key_space = 2_000
+    tenants = default_tenants("ranks")
+    requests = RequestGenerator(
+        tenants, key_space=key_space, zipf_s=1.1, rate=1000.0, seed=3,
+    ).generate(n)
+    rng = np.random.default_rng(4)
+    ranks = rng.random(key_space)
+
+    def run(serve) -> tuple:
+        best = float("inf")
+        snapshot: Dict[str, float] = {}
+        for _ in range(REPEATS):
+            cluster = ClusterConfig(
+                num_executors=2, executor_mem_bytes=1 << 40,
+                num_servers=2, server_mem_bytes=1 << 40,
+            )
+            spark = SparkContext(cluster)
+            psctx = PSContext(spark)
+            try:
+                vector = psctx.create_vector("ranks", key_space)
+                vector.set(np.arange(key_space), ranks)
+                t0 = time.perf_counter()
+                serve(psctx, vector)
+                best = min(best, time.perf_counter() - t0)
+                snapshot = _metrics_snapshot(spark)
+            finally:
+                psctx.stop()
+                spark.stop()
+        return best, snapshot
+
+    def boxed(psctx, vector):
+        for request in requests:
+            vector.pull(np.array([request.key], dtype=np.int64))
+
+    def batched(psctx, vector):
+        ServingPlane(
+            psctx, tenants, cache_capacity=key_space // 10,
+        ).run(requests)
+
+    boxed_s, _ = run(boxed)
+    batched_s, snap = run(batched)
+    return _result("serve_qps", n, boxed_s, batched_s, snap)
+
+
 #: name -> (case_fn, quick_n, full_n)
 CASES: Dict[str, tuple] = {
     "shuffle": (case_shuffle, 20_000, 200_000),
@@ -263,6 +320,7 @@ CASES: Dict[str, tuple] = {
     "pagerank_iter": (case_pagerank_iter, 20_000, 200_000),
     "graphsage_minibatch": (case_graphsage_minibatch, 20_000, 100_000),
     "lint_incremental": (case_lint_incremental, 0, 0),
+    "serve_qps": (case_serve_qps, 4_000, 40_000),
 }
 
 

@@ -404,3 +404,21 @@ RPC_LATENCY_H = "net.rpc.latency_s"
 EXECUTORS_ALIVE_G = "dataflow.executors.alive"
 PS_SERVERS_ALIVE_G = "ps.servers.alive"
 PS_SERVERS_TOTAL_G = "ps.servers.total"
+
+# Well-known serving-plane names (the ``serve.*`` family; see
+# docs/observability.md for the catalogue).
+PS_CACHE_EVICTIONS = "ps.cache.evictions"
+SERVE_REQUESTS = "serve.requests.offered"
+SERVE_SERVED = "serve.requests.served"
+SERVE_BATCHES = "serve.batches"
+SERVE_RATE_LIMITED = "serve.limiter.rejected"
+SERVE_SHED = "serve.limiter.shed"
+SERVE_EVICTED_CAPACITY = "serve.queue.evicted_capacity"
+SERVE_EVICTED_DEADLINE = "serve.queue.evicted_deadline"
+SERVE_CACHE_HITS = "serve.cache.hits"
+SERVE_CACHE_MISSES = "serve.cache.misses"
+SERVE_CACHE_EVICTIONS = "serve.cache.evictions"
+SERVE_LATENCY_H = "serve.latency_s"
+SERVE_DEGRADED_LATENCY_H = "serve.latency.degraded_s"
+SERVE_BATCH_SIZE_H = "serve.batch.size_dist"
+SERVE_QUEUE_DEPTH_G = "serve.queue.depth"

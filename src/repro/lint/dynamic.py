@@ -419,3 +419,71 @@ def _graphsage(seed: int, tracer: Tracer, metrics: MetricsRegistry
             "losses": [float(x) for x in result.stats["epoch_losses"]],
         }
         return stats, ctx.sim_time()
+
+
+@workload("serve-chaos")
+def _serve_chaos(seed: int, tracer: Tracer, metrics: MetricsRegistry
+                 ) -> Tuple[Dict[str, float], float]:
+    """The serving plane under a kill-shard fault, telemetry attached.
+
+    Covers the whole online path: seeded Zipfian traffic, token-bucket
+    and watermark admission, hot-key caching over agent pulls, PS
+    auto-recovery mid-traffic, and the ``serve-latency`` burn-rate alert.
+    The CI serve-smoke job double-runs this in strict mode: every drop
+    record, latency sample and alert boundary must be bit-identical.
+    """
+    import numpy as np
+
+    from repro.chaos import ChaosEngine, FaultSchedule, FaultSpec
+    from repro.common.rng import make_rng
+    from repro.core.context import PSGraphContext
+    from repro.obs.slo import default_slos
+    from repro.obs.telemetry import TelemetryCollector
+    from repro.serve import RequestGenerator, ServingPlane
+    from repro.serve.plane import default_serve_slos
+    from repro.serve.workload import default_tenants
+
+    key_space = 1000
+    with PSGraphContext(_small_cluster(), app_name="lint-serve-chaos",
+                        metrics=metrics, tracer=tracer) as ctx:
+        vector = ctx.ps.create_vector("serve.ranks", key_space)
+        rng = make_rng(derive_seed(seed, "lint-serve-publish"))
+        vector.set(np.arange(key_space), rng.random(key_space))
+        ctx.ps.checkpoint_all()
+        collector = TelemetryCollector(
+            metrics, tracer, slos=default_slos() + default_serve_slos(),
+        ).attach(ctx.spark)
+        tenants = default_tenants("serve.ranks")
+        generator = RequestGenerator(
+            tenants, key_space=key_space, zipf_s=1.1, rate=1000.0,
+            seed=derive_seed(seed, "lint-serve-traffic"))
+        schedule = FaultSchedule([
+            FaultSpec("kill_server", index=0, after_tasks=50,
+                      task_kind="serve"),
+        ], seed=seed)
+        engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+        engine.bind_telemetry(collector)
+        plane = ServingPlane(ctx.ps, tenants, cache_capacity=100)
+        try:
+            report = plane.run(generator.generate(
+                12_000, start_s=ctx.sim_time()))
+        finally:
+            engine.detach()
+            collector.finalize(ctx.sim_time())
+            collector.detach()
+        stats = {
+            "served": float(report.served),
+            "dropped": float(report.dropped),
+            "drops": {k: float(v) for k, v in sorted(report.drops.items())},
+            "conserved": report.conserved(),
+            "p99_s": report.p99_s,
+            "degraded_p99_s": report.degraded_p99_s or -1.0,
+            "cache_hit_rate": report.cache_hit_rate,
+            "drop_checksum": float(sum(
+                r.seq * 31.0 + r.sim_time_s for r in report.drop_records)),
+            "faults_fired": float(len(engine.fired)),
+            "recoveries": float(ctx.ps.master.recoveries),
+            "alerts": float(len(collector.alerts)),
+            "alert_fired_at": [a.fired_at_s for a in collector.alerts],
+        }
+        return stats, ctx.sim_time()

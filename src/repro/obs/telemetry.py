@@ -46,6 +46,7 @@ _COMPONENT_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("hdfs", "hdfs"),
     ("yarn", "yarn"),
     ("chaos", "chaos"),
+    ("serve", "serve"),
     ("runner", "driver"),
     ("graphx", "graphx"),
     ("obs", "obs"),

@@ -1,4 +1,4 @@
-"""Agent-side pull cache with bounded staleness.
+"""Agent-side pull cache with bounded staleness and optional capacity.
 
 Angel's PS agents cache pulled model partitions so that repeated reads of
 slow-changing values (out-degrees, converged ranks, frozen neighbor tables)
@@ -8,25 +8,38 @@ skip the network.  The cache is epoch-scoped: entries are valid for
 semantics; larger staleness trades freshness for traffic, the same dial as
 SSP-style training.
 
-Opt-in per matrix via ``PSContext.enable_pull_cache(name, staleness=...)``;
-writes through the same agent invalidate the writer's cached rows so a
-worker always sees its own updates.
+Capacity is a second, independent bound: with ``capacity`` set the cache
+keeps at most that many entries and evicts least-recently-used ones
+(lookup hits and fresh stores both refresh recency).  The default
+(``capacity=None``) keeps the historical unbounded behavior for training
+loops; the serving plane's hot-key cache always bounds it.  Evictions are
+counted in :class:`CacheStats` and, when a metrics registry is attached,
+in the ``ps.cache.evictions`` counter.
+
+Opt-in per matrix via ``PSContext.enable_pull_cache(name, staleness=...,
+capacity=...)``; writes through the same agent invalidate the writer's
+cached rows so a worker always sees its own updates.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import PS_CACHE_EVICTIONS, MetricsRegistry
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cached matrix."""
+    """Hit/miss/eviction counters for one cached matrix."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,13 +55,23 @@ class PullCache:
     Args:
         staleness: entries pulled at epoch ``e`` are served until epoch
             ``e + staleness`` (inclusive).
+        capacity: maximum entries kept; ``None`` (default) is unbounded.
+            When full, the least-recently-used entry is evicted.
+        metrics: optional registry; evictions increment
+            :data:`~repro.common.metrics.PS_CACHE_EVICTIONS`.
     """
 
     staleness: int = 0
+    capacity: Optional[int] = None
+    metrics: Optional[MetricsRegistry] = None
     stats: CacheStats = field(default_factory=CacheStats)
-    _entries: Dict[Tuple[int, Optional[int]], Tuple[np.ndarray, int]] = (
-        field(default_factory=dict)
+    _entries: "OrderedDict[Tuple[int, Optional[int]], Tuple[np.ndarray, int]]" = (
+        field(default_factory=OrderedDict)
     )
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigError("capacity must be >= 1 (or None)")
 
     def lookup(self, keys: np.ndarray, col: Optional[int],
                epoch: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -57,7 +80,7 @@ class PullCache:
         Returns:
             ``(mask, values)``: ``mask[i]`` True when ``keys[i]`` was served
             from cache; ``values`` is aligned with ``keys`` (undefined rows
-            where the mask is False).
+            where the mask is False).  Hits refresh LRU recency.
         """
         mask = np.zeros(len(keys), dtype=bool)
         values: list = [None] * len(keys)
@@ -74,13 +97,26 @@ class PullCache:
             mask[i] = True
             values[i] = value
             self.stats.hits += 1
+            if self.capacity is not None:
+                self._entries.move_to_end((int(k), col))
         return mask, values
 
     def store(self, keys: np.ndarray, col: Optional[int],
               values: np.ndarray, epoch: int) -> None:
-        """Cache freshly pulled rows."""
+        """Cache freshly pulled rows (evicting LRU entries when bounded)."""
         for k, v in zip(keys.tolist(), values):
-            self._entries[(int(k), col)] = (np.copy(v), epoch)
+            kc = (int(k), col)
+            self._entries[kc] = (np.copy(v), epoch)
+            self._entries.move_to_end(kc)
+        if self.capacity is not None:
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.stats.evictions += evicted
+                if self.metrics is not None:
+                    self.metrics.inc(PS_CACHE_EVICTIONS, evicted)
 
     def invalidate(self, keys: np.ndarray) -> None:
         """Drop cached rows for written keys (all columns)."""

@@ -12,7 +12,7 @@ column-sharded embeddings, neighbor tables).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -266,18 +266,22 @@ class PSContext:
             raise MatrixNotFoundError(name)
         return handle
 
-    def enable_pull_cache(self, name: str, staleness: int = 0):
+    def enable_pull_cache(self, name: str, staleness: int = 0,
+                          capacity: Optional[int] = None):
         """Turn on agent-side pull caching for one matrix.
 
         Entries are served for ``staleness`` sync epochs after the pull
         (0 = valid only within the current epoch; every barrier expires
-        them).  Returns the :class:`repro.ps.cache.PullCache` so callers
-        can read its hit statistics.
+        them).  ``capacity`` optionally bounds the cache to that many
+        entries with LRU eviction; the default keeps it unbounded.
+        Returns the :class:`repro.ps.cache.PullCache` so callers can read
+        its hit statistics.
         """
         from repro.ps.cache import PullCache
 
         self.matrix_meta(name)  # raises on unknown matrix
-        cache = PullCache(staleness=staleness)
+        cache = PullCache(staleness=staleness, capacity=capacity,
+                          metrics=self.spark.metrics)
         self._pull_caches[name] = cache
         return cache
 

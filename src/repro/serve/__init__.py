@@ -1,0 +1,43 @@
+"""Online serving plane for PS-resident artifacts (``repro.serve``).
+
+Batch training leaves ranks and embeddings on the parameter servers;
+this package exposes them to simulated request traffic on the
+deterministic sim clock — the Tencent production setting the paper
+motivates (Sec. I), where trained vectors feed online recommenders.
+
+Pieces:
+
+* :mod:`repro.serve.workload` — seeded request generator (Zipfian key
+  skew, tenant mix, Poisson arrivals on sim time).
+* :mod:`repro.serve.limiter` — per-tenant token buckets and the
+  queue-watermark backpressure gate.
+* :mod:`repro.serve.admission` — bounded priority queue with
+  deadline-based eviction.
+* :mod:`repro.serve.hotcache` — capacity-bounded LRU result cache
+  layered over :class:`repro.ps.cache.PullCache`.
+* :mod:`repro.serve.plane` — the :class:`ServingPlane` orchestrator
+  routing lookups to PS servers through the existing RPC layer.
+* :mod:`repro.serve.cli` — the ``repro-serve`` train → snapshot →
+  serve → report pipeline.
+"""
+
+from repro.serve.admission import AdmissionQueue, DropRecord
+from repro.serve.hotcache import HotKeyCache
+from repro.serve.limiter import TenantRateLimiter, TokenBucket, WatermarkGate
+from repro.serve.plane import ServingPlane, ServingReport, default_serve_slos
+from repro.serve.workload import Request, RequestGenerator, TenantSpec
+
+__all__ = [
+    "AdmissionQueue",
+    "DropRecord",
+    "HotKeyCache",
+    "Request",
+    "RequestGenerator",
+    "ServingPlane",
+    "ServingReport",
+    "TenantRateLimiter",
+    "TenantSpec",
+    "TokenBucket",
+    "WatermarkGate",
+    "default_serve_slos",
+]

@@ -1,0 +1,128 @@
+"""Bounded admission queue with priority order and deadline eviction.
+
+The queue is the only buffer between the request generator and the PS
+lookup path, and it is *bounded*: when full, the lowest-priority /
+latest-deadline entry is evicted (or the newcomer rejected if it is
+itself the worst), and at drain time entries whose deadline has already
+passed are evicted instead of served — a stale recommendation is worth
+less than the capacity it occupies.
+
+Every admission decision produces either a served request or a
+:class:`DropRecord` with an explicit reason, so the plane can prove the
+conservation law the chaos tests assert: ``offered == served + dropped``
+— no request is ever silently lost, even mid-failover.
+
+Ordering is total and deterministic: ``(-priority, deadline_s, seq)`` —
+highest priority first, then earliest deadline, then arrival order.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.serve.workload import Request
+
+#: Drop reasons recorded by the plane (queue + limiter + gate).
+DROP_REASONS = (
+    "rate_limited",   # tenant token bucket empty at arrival
+    "backpressure",   # watermark gate closed to this priority class
+    "queue_full",     # bounded queue evicted the worst entry
+    "deadline",       # entry expired before it could be served
+)
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One request the plane dropped, and why."""
+
+    seq: int
+    tenant: str
+    reason: str
+    sim_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.reason not in DROP_REASONS:
+            raise ConfigError(
+                f"unknown drop reason {self.reason!r}; choose from "
+                f"{DROP_REASONS}"
+            )
+
+
+def _order_key(request: Request) -> Tuple[int, float, int]:
+    return (-request.priority, request.deadline_s, request.seq)
+
+
+class AdmissionQueue:
+    """Bounded priority queue of pending requests.
+
+    Args:
+        capacity: maximum queued requests (>= 1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        self.capacity = capacity
+        #: Sorted list of (order_key, request); front is served first.
+        self._entries: List[Tuple[Tuple[int, float, int], Request]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued requests."""
+        return len(self._entries)
+
+    def offer(self, request: Request) -> Optional[Request]:
+        """Enqueue ``request``; returns the victim evicted to make room.
+
+        When the queue is full the worst entry — lowest priority, then
+        latest deadline — makes way; if the newcomer is itself the worst,
+        it is returned unqueued.  ``None`` means nothing was dropped.
+        """
+        key = _order_key(request)
+        if len(self._entries) >= self.capacity:
+            worst_key, worst = self._entries[-1]
+            if key >= worst_key:
+                return request
+            self._entries.pop()
+            insort(self._entries, (key, request))
+            return worst
+        insort(self._entries, (key, request))
+        return None
+
+    def drain(self, limit: int, now_s: float
+              ) -> Tuple[List[Request], List[Request]]:
+        """Dequeue up to ``limit`` servable requests at sim-time ``now_s``.
+
+        Returns:
+            ``(batch, expired)`` — ``batch`` in priority order, ready to
+            serve; ``expired`` entries hit their deadline while queued and
+            must be recorded as evictions by the caller.
+        """
+        batch: List[Request] = []
+        expired: List[Request] = []
+        kept_from = 0
+        while kept_from < len(self._entries) and len(batch) < limit:
+            _, request = self._entries[kept_from]
+            kept_from += 1
+            if request.deadline_s < now_s:
+                expired.append(request)
+            else:
+                batch.append(request)
+        if kept_from:
+            del self._entries[:kept_from]
+        return batch, expired
+
+    def expire(self, now_s: float) -> List[Request]:
+        """Remove every queued entry whose deadline has passed."""
+        expired = [r for _, r in self._entries if r.deadline_s < now_s]
+        if expired:
+            self._entries = [
+                e for e in self._entries if e[1].deadline_s >= now_s
+            ]
+        return expired

@@ -1,0 +1,291 @@
+"""``repro-serve`` — train, snapshot, then serve a model from the PS.
+
+The end-to-end serving pipeline on one simulated cluster::
+
+    repro-serve --requests 100000 --seed 7
+    repro-serve --requests 50000 --chaos --telemetry serve.json \\
+                --dashboard serve.html --require-alert 1
+
+Four phases, all on the sim clock:
+
+1. **train** — PageRank over a generated power-law graph (or ``--input``
+   edge list);
+2. **snapshot** — ranks are published into a dedicated PS vector and
+   checkpointed so serving survives a shard kill;
+3. **serve** — a seeded Zipfian multi-tenant workload is replayed
+   through the admission-controlled :class:`~repro.serve.plane.ServingPlane`,
+   optionally under a chaos schedule (``--chaos`` with no argument uses
+   the built-in kill-one-serving-shard schedule);
+4. **report** — latency percentiles, drop accounting, cache hit rate and
+   (with telemetry on) the SLO/alert dashboard.
+
+``--require-alert N`` makes the command a smoke check: it fails unless at
+least N SLO alerts fired — CI runs it with ``--chaos`` to prove the
+``serve-latency`` SLO actually pages during an outage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.chaos import ChaosEngine, FaultSchedule, FaultSpec
+from repro.common.config import GB, ClusterConfig
+from repro.common.rng import derive_seed
+from repro.core.algorithms import PageRank
+from repro.core.context import PSGraphContext
+from repro.core.runner import GraphRunner
+from repro.obs import (
+    NOOP_TRACER,
+    TelemetryCollector,
+    Tracer,
+    build_telemetry_doc,
+    write_chrome_trace,
+)
+from repro.obs.dashboard import write_dashboard
+from repro.obs.slo import default_slos
+from repro.serve.plane import ServingPlane, default_serve_slos
+from repro.serve.workload import RequestGenerator, default_tenants
+
+#: PS vector the trained ranks are published into for serving.
+SERVE_MODEL = "serve.ranks"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Train a model, snapshot it on the PS, and serve a "
+                    "seeded Zipfian workload against it.",
+        epilog="See docs/serving.md for the full pipeline.",
+    )
+    parser.add_argument("--input", default=None,
+                        help="edge-list file 'src<TAB>dst'; default is a "
+                             "generated power-law graph")
+    parser.add_argument("--vertices", type=int, default=2000,
+                        help="generated-graph vertex count")
+    parser.add_argument("--edges", type=int, default=8000,
+                        help="generated-graph edge count")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="PageRank iterations in the train phase")
+    parser.add_argument("--requests", type=int, default=100_000,
+                        help="serving requests to generate")
+    parser.add_argument("--rate", type=float, default=1000.0,
+                        help="merged arrival rate (requests per sim-s)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf skew exponent of the key distribution")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--executors", type=int, default=4)
+    parser.add_argument("--servers", type=int, default=2)
+    parser.add_argument("--executor-gb", type=float, default=1.0)
+    parser.add_argument("--server-gb", type=float, default=1.0)
+    parser.add_argument("--queue-capacity", type=int, default=512)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--cache-capacity", type=int, default=None,
+                        help="hot-key cache entries per model (default: "
+                             "10%% of the key space)")
+    parser.add_argument("--chaos", nargs="?", const="auto", default=None,
+                        metavar="SCHEDULE.JSON",
+                        help="inject faults while serving; with no "
+                             "argument, kill one serving shard mid-traffic")
+    parser.add_argument("--chaos-after", type=int, default=100,
+                        metavar="BATCHES",
+                        help="served batches before the built-in kill-shard "
+                             "fault fires (with bare --chaos)")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="write the telemetry document as JSON")
+    parser.add_argument("--dashboard", default=None, metavar="PATH",
+                        help="write the HTML dashboard")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run")
+    parser.add_argument("--report-json", default=None, metavar="PATH",
+                        help="write the serving report as JSON")
+    parser.add_argument("--require-alert", type=int, default=0,
+                        metavar="N",
+                        help="exit non-zero unless >= N SLO alerts fired")
+    return parser
+
+
+def default_kill_shard_schedule(seed: int,
+                                after_batches: int = 100) -> FaultSchedule:
+    """The stock serving chaos: kill PS server 0 after N served batches."""
+    return FaultSchedule([
+        FaultSpec("kill_server", index=0, after_tasks=after_batches,
+                  task_kind="serve"),
+    ], seed=seed)
+
+
+def _load_edges(ctx: PSGraphContext, args: argparse.Namespace) -> None:
+    from repro.datasets.generators import powerlaw_graph
+    from repro.datasets.tencent import write_edges
+
+    if args.input is not None:
+        with open(args.input) as f:
+            lines = [ln.strip() for ln in f if ln.strip()]
+        ctx.hdfs.write_text("/input/edges/part-00000", lines)
+        return
+    src, dst = powerlaw_graph(
+        args.vertices, args.edges, seed=derive_seed(args.seed, "serve-graph"))
+    write_edges(ctx.hdfs, "/input/edges", src, dst, num_files=4)
+
+
+def _publish_ranks(ctx: PSGraphContext, result) -> int:
+    """Move the trained ranks into the serving vector; returns key space."""
+    rows = result.output.rdd.collect()
+    keys = np.array([r[0] for r in rows], dtype=np.int64)
+    values = np.array([r[1] for r in rows], dtype=np.float64)
+    key_space = int(keys.max()) + 1 if len(keys) else 1
+    vector = ctx.ps.create_vector(SERVE_MODEL, key_space)
+    vector.set(keys, values)
+    # Snapshot *everything* resident on the servers: auto-recovery
+    # restores every matrix, so an uncheckpointed leftover from training
+    # would turn a mid-serving shard kill into an unrecoverable fault.
+    ctx.ps.checkpoint_all()
+    return key_space
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    cluster = ClusterConfig(
+        num_executors=args.executors,
+        executor_mem_bytes=int(args.executor_gb * GB),
+        num_servers=args.servers,
+        server_mem_bytes=int(args.server_gb * GB),
+    )
+    tracing = (args.trace is not None or args.telemetry is not None
+               or args.dashboard is not None)
+    tracer = Tracer() if tracing else NOOP_TRACER
+    if args.chaos is None:
+        schedule = None
+    elif args.chaos == "auto":
+        schedule = default_kill_shard_schedule(args.seed,
+                                               after_batches=args.chaos_after)
+    else:
+        schedule = FaultSchedule.load(args.chaos)
+    rc = 0
+    with PSGraphContext(cluster, app_name="repro-serve",
+                        tracer=tracer) as ctx:
+        # -- train ------------------------------------------------------
+        _load_edges(ctx, args)
+        result = GraphRunner(ctx).run(
+            PageRank(max_iterations=args.iterations), "/input/edges")
+        train_end_s = ctx.sim_time()
+        print(f"train     : pagerank x{result.iterations} iterations, "
+              f"{train_end_s:.3f} sim-s")
+        # -- snapshot ---------------------------------------------------
+        key_space = _publish_ranks(ctx, result)
+        print(f"snapshot  : {SERVE_MODEL}[{key_space}] checkpointed")
+        # -- serve ------------------------------------------------------
+        collector = TelemetryCollector(
+            ctx.metrics, tracer,
+            slos=default_slos() + default_serve_slos(),
+        ).attach(ctx.spark)
+        tenants = default_tenants(SERVE_MODEL)
+        generator = RequestGenerator(
+            tenants, key_space=key_space, zipf_s=args.zipf,
+            rate=args.rate, seed=args.seed)
+        requests = generator.generate(args.requests,
+                                      start_s=ctx.sim_time())
+        cache_capacity = (args.cache_capacity
+                          if args.cache_capacity is not None
+                          else max(32, key_space // 10))
+        plane = ServingPlane(
+            ctx.ps, tenants,
+            queue_capacity=args.queue_capacity,
+            batch_size=args.batch_size,
+            cache_capacity=cache_capacity,
+        )
+        engine = None
+        if schedule is not None:
+            engine = ChaosEngine(schedule, ctx.spark, ctx.ps).attach()
+            engine.bind_telemetry(collector)
+        try:
+            report = plane.run(requests)
+        finally:
+            if engine is not None:
+                engine.detach()
+            collector.finalize(ctx.sim_time())
+            collector.detach()
+        # -- report -----------------------------------------------------
+        if engine is not None:
+            print(engine.describe())
+        drops = ", ".join(f"{k}={v}" for k, v in sorted(
+            report.drops.items())) or "none"
+        print(f"served    : {report.served}/{report.offered} requests "
+              f"in {report.batches} batches "
+              f"({len(tenants)} tenants, zipf s={args.zipf})")
+        print(f"latency   : p50={report.p50_s * 1e3:.2f} ms  "
+              f"p99={report.p99_s * 1e3:.2f} ms (sim)")
+        if report.degraded_p99_s is not None:
+            print(f"degraded  : p99={report.degraded_p99_s:.3f} s over "
+                  f"{report.recoveries} recovery(ies)")
+        print(f"hot cache : {report.cache_hit_rate * 100:.1f}% hit rate")
+        print(f"drops     : {drops}")
+        print(f"conserved : {report.conserved()} "
+              f"(offered == served + dropped)")
+        print(f"sim time  : {ctx.sim_time():.3f} s")
+        alerts = collector.alerts
+        for alert in alerts:
+            resolved = (f"resolved {alert.resolved_at_s:.3f}"
+                        if alert.resolved_at_s is not None else "unresolved")
+            print(f"alert     : {alert.slo} fired {alert.fired_at_s:.3f} "
+                  f"sim-s ({resolved})")
+        if not report.conserved():
+            print("error: request conservation violated", file=sys.stderr)
+            rc = 1
+        doc = None
+        if args.telemetry or args.dashboard:
+            doc = build_telemetry_doc(
+                collector, tracer, ctx.sim_time(),
+                meta={"pipeline": "repro-serve", "seed": args.seed,
+                      "requests": args.requests, "key_space": key_space,
+                      "zipf_s": args.zipf, "tenants": len(tenants),
+                      "serving": report.to_dict()},
+                chaos=engine.report() if engine is not None else None,
+            )
+        # Artifact writes come last; a bad path must not hide the report.
+        if args.report_json:
+            try:
+                with open(args.report_json, "w") as f:
+                    json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+                print(f"wrote serving report to {args.report_json}")
+            except OSError as e:
+                print(f"error: cannot write report: {e}", file=sys.stderr)
+                rc = 1
+        if args.telemetry and doc is not None:
+            try:
+                with open(args.telemetry, "w") as f:
+                    json.dump(doc, f, indent=2, sort_keys=True)
+                print(f"wrote telemetry ({len(alerts)} alert(s)) to "
+                      f"{args.telemetry}")
+            except OSError as e:
+                print(f"error: cannot write telemetry: {e}", file=sys.stderr)
+                rc = 1
+        if args.dashboard and doc is not None:
+            try:
+                n = write_dashboard(args.dashboard, doc)
+                print(f"wrote dashboard ({n} bytes) to {args.dashboard}")
+            except OSError as e:
+                print(f"error: cannot write dashboard: {e}", file=sys.stderr)
+                rc = 1
+        if args.trace:
+            try:
+                n = write_chrome_trace(args.trace, tracer)
+                print(f"wrote {n} trace events to {args.trace}")
+            except OSError as e:
+                print(f"error: cannot write trace: {e}", file=sys.stderr)
+                rc = 1
+        if args.require_alert > 0 and len(alerts) < args.require_alert:
+            print(f"error: required >= {args.require_alert} alert(s), "
+                  f"got {len(alerts)}", file=sys.stderr)
+            rc = 1
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

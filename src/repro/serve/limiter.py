@@ -1,0 +1,120 @@
+"""Per-tenant token-bucket rate limiting and watermark backpressure.
+
+Two admission-control mechanisms guard the serving plane's queue:
+
+* :class:`TokenBucket` / :class:`TenantRateLimiter` — each tenant refills
+  tokens at its contracted rate on the *simulated* clock; a request that
+  finds the bucket empty is rejected immediately (a fast 429, never
+  queued).  Refill is computed from sim-time deltas, so the limiter is
+  bit-deterministic under the double-run harness.
+* :class:`WatermarkGate` — hysteresis over the admission-queue depth.
+  When depth crosses the high watermark the gate closes and arrivals
+  below the protected priority are shed until depth drains to the low
+  watermark; latency-critical tenants keep flowing.  This is the
+  standard mempool/ingress pattern: bounded queue, shed the best-effort
+  class first, never block the producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.common.errors import ConfigError
+from repro.serve.workload import Request, TenantSpec
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket on the sim clock.
+
+    Attributes:
+        rate: tokens added per simulated second (0 = unlimited).
+        burst: bucket capacity.
+        tokens: current fill; starts full.
+        last_s: sim-time of the last refill.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    last_s: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise ConfigError("rate must be >= 0")
+        if self.burst < 1.0:
+            raise ConfigError("burst must be >= 1")
+        self.tokens = float(self.burst)
+
+    def try_take(self, now_s: float) -> bool:
+        """Consume one token at sim-time ``now_s``; False when empty.
+
+        An unlimited bucket (``rate == 0``) always grants.
+        """
+        if self.rate == 0.0:
+            return True
+        if now_s > self.last_s:
+            self.tokens = min(
+                float(self.burst),
+                self.tokens + (now_s - self.last_s) * self.rate,
+            )
+            self.last_s = now_s
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class TenantRateLimiter:
+    """One token bucket per tenant, built from the tenant specs."""
+
+    def __init__(self, tenants: Sequence[TenantSpec]) -> None:
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(rate=t.rate_limit, burst=float(t.burst))
+            for t in tenants
+        }
+
+    def admit(self, request: Request) -> bool:
+        """Whether the request passes its tenant's bucket at arrival time."""
+        bucket = self._buckets.get(request.tenant)
+        if bucket is None:
+            raise ConfigError(f"unknown tenant {request.tenant!r}")
+        return bucket.try_take(request.arrival_s)
+
+
+@dataclass
+class WatermarkGate:
+    """Hysteresis gate over the admission-queue depth.
+
+    Attributes:
+        high: depth at or above which the gate closes.
+        low: depth at or below which a closed gate reopens.
+        protect_priority: requests with priority >= this pass even
+            through a closed gate (the latency-critical class).
+        closed: current gate state.
+        transitions: number of open -> closed transitions (exposed so
+            reports can show how often backpressure engaged).
+    """
+
+    high: int
+    low: int
+    protect_priority: int = 2
+    closed: bool = field(init=False, default=False)
+    transitions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high <= self.low:
+            raise ConfigError("need 0 <= low < high watermarks")
+
+    def update(self, depth: int) -> None:
+        """Refresh the gate from the current queue depth."""
+        if not self.closed and depth >= self.high:
+            self.closed = True
+            self.transitions += 1
+        elif self.closed and depth <= self.low:
+            self.closed = False
+
+    def admits(self, request: Request) -> bool:
+        """Whether the gate lets this request into the queue right now."""
+        return not self.closed or request.priority >= self.protect_priority

@@ -17,6 +17,7 @@ deployment mode the overhaul introduces.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List
 
@@ -31,6 +32,15 @@ from repro.ps.context import PSContext
 PARTITIONS = 8
 FEATURE_DIM = 16
 
+#: Worker count for the optional ``--parallel`` axis (0 = axis off).
+#: Set by :func:`run_cases`; the dataflow cases then time a third leg —
+#: the batched pipeline on a process pool — and attach ``parallel_s`` /
+#: ``parallel_speedup`` / ``host_cores`` to their results.  The speedup
+#: is only meaningful when the host has at least as many cores as
+#: workers; the runner's regression gate checks ``host_cores`` and
+#: treats undersized hosts as informational.
+PARALLEL_WORKERS = 0
+
 #: Counter prefixes embedded in the results JSON.  These are *simulated*
 #: counters — shuffle volumes, PS request counts, HDFS bytes — so for a
 #: fixed case they are bit-identical on every host, unlike the wall-clock
@@ -38,9 +48,9 @@ FEATURE_DIM = 16
 METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.", "serve.")
 
 
-def _spark() -> SparkContext:
+def _spark(parallel: int = 0) -> SparkContext:
     cluster = ClusterConfig(num_executors=4, executor_mem_bytes=1 << 40)
-    return SparkContext(cluster)
+    return SparkContext(cluster, parallel=parallel)
 
 
 def _metrics_snapshot(ctx: SparkContext) -> Dict[str, float]:
@@ -64,7 +74,7 @@ def _pairs(n: int, key_space: int, seed: int = 0):
 REPEATS = 3
 
 
-def _time_job(job: Callable[[SparkContext], object]
+def _time_job(job: Callable[[SparkContext], object], parallel: int = 0
               ) -> tuple[float, Dict[str, float]]:
     """Best-of-N wall-clock for one pipeline; setup/teardown untimed.
 
@@ -74,7 +84,7 @@ def _time_job(job: Callable[[SparkContext], object]
     best = float("inf")
     snapshot: Dict[str, float] = {}
     for _ in range(REPEATS):
-        ctx = _spark()
+        ctx = _spark(parallel)
         try:
             t0 = time.perf_counter()
             job(ctx)
@@ -83,6 +93,36 @@ def _time_job(job: Callable[[SparkContext], object]
         finally:
             ctx.stop()
     return best, snapshot
+
+
+def _pool_leg(job: Callable[[SparkContext], object],
+              batched_s: float,
+              batched_snap: Dict[str, float]) -> Dict[str, float]:
+    """Optional third timing leg: the batched pipeline on the pool.
+
+    Returns the extra result fields, or ``{}`` when the axis is off.
+    Asserts the simulated counters match the serial batched run modulo
+    the host-side ``dataflow.pool.*`` namespace — the bench doubles as
+    an equivalence check at benchmark scale.
+    """
+    if PARALLEL_WORKERS < 2:
+        return {}
+    parallel_s, snap = _time_job(job, parallel=PARALLEL_WORKERS)
+
+    def sim_only(s: Dict[str, float]) -> Dict[str, float]:
+        return {k: v for k, v in s.items()
+                if not k.startswith("dataflow.pool.")}
+
+    if sim_only(snap) != sim_only(batched_snap):
+        raise AssertionError(
+            "pool run diverged from serial simulated counters")
+    return {
+        "parallel_s": round(parallel_s, 6),
+        "parallel_speedup": round(batched_s / parallel_s, 3)
+        if parallel_s else 0.0,
+        "parallel_workers": PARALLEL_WORKERS,
+        "host_cores": os.cpu_count() or 1,
+    }
 
 
 def _result(name: str, n: int, boxed_s: float, batched_s: float,
@@ -115,7 +155,9 @@ def case_shuffle(n: int) -> Dict:
 
     boxed_s, _ = _time_job(boxed)
     batched_s, snap = _time_job(batched)
-    return _result("shuffle", n, boxed_s, batched_s, snap)
+    out = _result("shuffle", n, boxed_s, batched_s, snap)
+    out.update(_pool_leg(batched, batched_s, snap))
+    return out
 
 
 def case_reduce_by_key(n: int) -> Dict:
@@ -134,7 +176,9 @@ def case_reduce_by_key(n: int) -> Dict:
 
     boxed_s, _ = _time_job(boxed)
     batched_s, snap = _time_job(batched)
-    return _result("reduce_by_key", n, boxed_s, batched_s, snap)
+    out = _result("reduce_by_key", n, boxed_s, batched_s, snap)
+    out.update(_pool_leg(batched, batched_s, snap))
+    return out
 
 
 def case_pagerank_iter(n: int) -> Dict:
@@ -155,7 +199,9 @@ def case_pagerank_iter(n: int) -> Dict:
 
     boxed_s, _ = _time_job(boxed)
     batched_s, snap = _time_job(batched)
-    return _result("pagerank_iter", n, boxed_s, batched_s, snap)
+    out = _result("pagerank_iter", n, boxed_s, batched_s, snap)
+    out.update(_pool_leg(batched, batched_s, snap))
+    return out
 
 
 def case_graphsage_minibatch(n: int) -> Dict:
@@ -313,23 +359,35 @@ def case_serve_qps(n: int) -> Dict:
     return _result("serve_qps", n, boxed_s, batched_s, snap)
 
 
-#: name -> (case_fn, quick_n, full_n)
+#: name -> (case_fn, quick_n, full_n).  Full-size counts are DS1/DS2-shaped
+#: runs (paper Table I scale relative to the simulator): a million-record
+#: shuffle is routine once the columnar paths and the pool carry it.
 CASES: Dict[str, tuple] = {
-    "shuffle": (case_shuffle, 20_000, 200_000),
-    "reduce_by_key": (case_reduce_by_key, 20_000, 200_000),
-    "pagerank_iter": (case_pagerank_iter, 20_000, 200_000),
-    "graphsage_minibatch": (case_graphsage_minibatch, 20_000, 100_000),
+    "shuffle": (case_shuffle, 20_000, 1_000_000),
+    "reduce_by_key": (case_reduce_by_key, 20_000, 1_000_000),
+    "pagerank_iter": (case_pagerank_iter, 20_000, 1_000_000),
+    "graphsage_minibatch": (case_graphsage_minibatch, 20_000, 400_000),
     "lint_incremental": (case_lint_incremental, 0, 0),
-    "serve_qps": (case_serve_qps, 4_000, 40_000),
+    "serve_qps": (case_serve_qps, 4_000, 100_000),
 }
 
 
 def run_cases(quick: bool = True,
-              names: List[str] | None = None) -> List[Dict]:
-    """Run the selected cases; returns one result dict per case."""
-    out = []
-    for name, (fn, quick_n, full_n) in CASES.items():
-        if names and name not in names:
-            continue
-        out.append(fn(quick_n if quick else full_n))
-    return out
+              names: List[str] | None = None,
+              parallel: int = 0) -> List[Dict]:
+    """Run the selected cases; returns one result dict per case.
+
+    ``parallel >= 2`` turns on the pool axis for the dataflow cases
+    (see :data:`PARALLEL_WORKERS`).
+    """
+    global PARALLEL_WORKERS
+    PARALLEL_WORKERS = int(parallel)
+    try:
+        out = []
+        for name, (fn, quick_n, full_n) in CASES.items():
+            if names and name not in names:
+                continue
+            out.append(fn(quick_n if quick else full_n))
+        return out
+    finally:
+        PARALLEL_WORKERS = 0

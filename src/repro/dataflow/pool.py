@@ -1,0 +1,371 @@
+"""Wall-clock-parallel task execution under the deterministic simulator.
+
+The columnar overhaul made single-core hot paths fast; this module adds the
+next axis: running the tasks of one stage on a ``multiprocessing`` worker
+pool so they use real cores, while keeping every *simulated* observable —
+sim time, metrics, span sequences, collected results — bit-identical to
+the serial scheduler loop.  PSGraph's premise is exactly this shape: Spark
+executors saturate many cores per node while the driver remains the single
+source of ordering (Sec. III-C / IV of the paper).
+
+Design (see docs/performance.md for the full architecture write-up):
+
+* **Fork-per-stage, optimistic.**  For an eligible stage the driver forks
+  ``N = min(workers, partitions)`` workers; each inherits the entire
+  driver state (RDD lineage, shuffle outputs, executor clocks) via
+  copy-on-write, runs its ``partitions[w::N]`` slice sequentially, and
+  ships one *task package* per task back through a pipe.
+
+* **Deterministic merge barrier.**  Workers never mutate driver state.  A
+  package carries the task's result, its ordered metric-event recording
+  (:meth:`~repro.common.metrics.MetricsRegistry.begin_recording`), the
+  spans it produced, any new shuffle map outputs, and its memory peak.
+  The driver validates and replays packages **in partition dispatch
+  order** — the exact order the serial loop would have used — so counter
+  totals are the same IEEE additions in the same sequence, span lists are
+  spliced identically, and executor clocks advance by the same busy time.
+
+* **Shared-memory column transport.**  Columnar
+  :class:`~repro.common.batch.RecordBatch` payloads (results and shuffle
+  buckets) travel as one ``multiprocessing.shared_memory`` segment per
+  package (:func:`~repro.common.batch.shm_export`); only tiny descriptors
+  cross the pipe.  Boxed partitions fall back to pickle, counted by
+  ``dataflow.pool.pickle_fallbacks``.
+
+* **Serial fallback, never divergence.**  Any surprise — a worker death,
+  a task exception, a metric event outside the replayable allowlist, a
+  clock that moved during a task — invalidates the package, and the
+  affected partitions (and everything after them) run through the
+  unchanged serial loop, which reproduces errors, retries and side
+  effects exactly.  Stages with cross-task couplings the fork cannot
+  capture (task hooks, speculation, cached lineage, dead executors,
+  PS/RPC side effects) are never dispatched in the first place — the
+  scheduler checks eligibility before forking.
+
+The pool is wall-clock machinery only: every ``dataflow.pool.*`` metric
+is deliberately outside the simulated-cost contract, and equivalence
+tests compare serial vs parallel runs modulo that prefix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.batch import RecordBatch, shm_discard, shm_export, shm_import
+from repro.common.metrics import (
+    POOL_PICKLE_FALLBACKS,
+    POOL_SHM_BYTES,
+    POOL_TASKS_DISPATCHED,
+    POOL_WORKERS_G,
+    MetricsRegistry,
+)
+from repro.common.simclock import TaskCost
+from repro.dataflow.taskctx import TaskContext, task_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.context import SparkContext
+
+#: Process-default worker count applied when a context is built without an
+#: explicit ``parallel=`` argument.  Pool parallelism is host-side
+#: configuration (like tracing), not simulated state: it cannot change any
+#: simulated observable, only wall-clock speed.
+DEFAULT_PARALLEL = 0
+
+#: Seconds to wait for a worker to exit after its pipe closed.
+WORKER_JOIN_TIMEOUT_S = 60.0
+
+
+def set_default_parallel(workers: int | None) -> None:
+    """Set the process-default pool width (0/None disables the pool).
+
+    Used by CLIs (``--parallel N``) whose workloads build their contexts
+    internally and cannot thread a constructor argument through.
+    """
+    global DEFAULT_PARALLEL
+    DEFAULT_PARALLEL = int(workers) if workers else 0
+
+
+def default_parallel() -> int:
+    """The process-default pool width (see :func:`set_default_parallel`)."""
+    return DEFAULT_PARALLEL
+
+
+@dataclass
+class TaskPackage:
+    """Everything one pool task produced, for driver-side replay.
+
+    Attributes:
+        partition: partition the task computed.
+        executor_index: index of the executor placement the worker used
+            (validated against the driver's own placement on replay).
+        cost: the task's simulated cost accumulator.
+        result: the task function's return value.
+        events: ordered metric events recorded while the task ran.
+        spans: spans the task placed on its trace rows.
+        outputs: shuffle map outputs the task registered, by
+            ``(shuffle_id, map_partition)``.
+        mem_peak: the executor's memory peak after the task (transient
+            allocations net to zero; the peak is merged with ``max``).
+        clock_drift: executor-clock movement during the task — must be
+            0.0 (clocks stand still inside tasks) or the package is
+            rejected.
+        error: ``repr`` of the in-task exception, if one was raised.
+    """
+
+    partition: int
+    executor_index: int
+    cost: TaskCost
+    result: Any = None
+    events: List[Tuple[str, str, float]] = field(default_factory=list)
+    spans: List[Any] = field(default_factory=list)
+    outputs: Dict[Tuple[int, int], Any] = field(default_factory=dict)
+    mem_peak: int = 0
+    clock_drift: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class _ShmRef:
+    """Placeholder for a batch that travelled via shared memory."""
+
+    index: int
+
+
+def _batch_slots(pkg: TaskPackage) -> List[Tuple[Any, Any]]:
+    """Locations in ``pkg`` that may hold a :class:`RecordBatch`.
+
+    Returns ``(container, key)`` pairs such that ``container[key]`` is the
+    batch — the encode pass swaps batches for :class:`_ShmRef` markers in
+    place, and the decode pass swaps them back.  Batches appear in two
+    places: elements of a list-shaped task result (or the result itself,
+    boxed in its carrying list) and shuffle-output buckets.
+    """
+    slots: List[Tuple[Any, Any]] = []
+    holder = pkg.__dict__
+    if isinstance(pkg.result, (RecordBatch, _ShmRef)):
+        slots.append((holder, "result"))
+    elif isinstance(pkg.result, list):
+        slots.extend(
+            (pkg.result, i) for i, x in enumerate(pkg.result)
+            if isinstance(x, (RecordBatch, _ShmRef))
+        )
+    for out in pkg.outputs.values():
+        slots.extend(
+            (out.buckets, pid) for pid, b in out.buckets.items()
+            if isinstance(b, (RecordBatch, _ShmRef))
+        )
+    return slots
+
+
+def _encode_package(pkg: TaskPackage) -> Tuple[Tuple, Optional[Any]]:
+    """Swap columnar batches for shm refs; returns ``(message, shm)``.
+
+    The message is ``(pkg, shm_name, shm_bytes, descriptors,
+    pickled_batches)``; the caller must ``close()`` the returned segment
+    (if any) once the message has been sent, and unlink it if the send
+    failed (otherwise the importer unlinks).
+    """
+    slots = _batch_slots(pkg)
+    columnar = [(c, k) for c, k in slots if c[k].is_columnar]
+    pickled = len(slots) - len(columnar)
+    if not columnar:
+        return (pkg, None, 0, [], pickled), None
+    shm, nbytes, descriptors = shm_export([c[k] for c, k in columnar])
+    for i, (container, key) in enumerate(columnar):
+        container[key] = _ShmRef(i)
+    return (pkg, shm.name, nbytes, descriptors, pickled), shm
+
+
+def _decode_package(message: Tuple,
+                    metrics: MetricsRegistry) -> TaskPackage:
+    """Adopt one worker message, restoring shm-shipped batches.
+
+    Runs eagerly for *every* received package — including ones the
+    scheduler later rejects — so each shared-memory segment is mapped,
+    copied out and unlinked exactly once.
+    """
+    pkg, shm_name, nbytes, descriptors, pickled = message
+    if shm_name is not None:
+        batches = shm_import(shm_name, descriptors)
+        for container, key in _batch_slots(pkg):
+            ref = container[key]
+            if isinstance(ref, _ShmRef):
+                container[key] = batches[ref.index]
+        metrics.inc(POOL_SHM_BYTES, float(nbytes))
+    if pickled:
+        metrics.inc(POOL_PICKLE_FALLBACKS, float(pickled))
+    return pkg
+
+
+def _run_one(ctx: "SparkContext", stage_id: int, partition: int,
+             task: Callable[[int, TaskContext], Any]) -> TaskPackage:
+    """Run one task inside a forked worker and capture its effects.
+
+    Mirrors the serial loop's per-task body, but instead of mutating
+    shared state it records metric events, new spans, new shuffle outputs
+    and the memory peak for the driver to replay.  Exceptions (including
+    simulated OOM) become error packages — the driver reruns the
+    partition serially, reproducing the failure against real driver
+    state.
+    """
+    executor = ctx.executor_for_partition(partition)
+    tctx = TaskContext(stage_id, partition, executor, tracer=ctx.tracer)
+    tracer = ctx.tracer
+    span_mark = tracer.mark()
+    outputs_before = ctx.shuffle_service.snapshot_keys()
+    clock_before = executor.container.clock.now_s
+    ctx.metrics.begin_recording()
+    result: Any = None
+    error: str | None = None
+    try:
+        with task_scope(tctx):
+            executor.ensure_alive()
+            result = task(partition, tctx)
+    except BaseException as exc:  # noqa: BLE001 - driver reruns serially
+        error = repr(exc)
+    events = ctx.metrics.end_recording()
+    return TaskPackage(
+        partition=partition,
+        executor_index=executor.index,
+        cost=tctx.cost,
+        result=result if error is None else None,
+        events=events,
+        spans=tracer.since(span_mark),
+        outputs=ctx.shuffle_service.added_since(outputs_before),
+        mem_peak=executor.container.memory.peak,
+        clock_drift=executor.container.clock.now_s - clock_before,
+        error=error,
+    )
+
+
+def _worker_main(conn: Any, ctx: "SparkContext", stage_id: int,
+                 partitions: List[int],
+                 task: Callable[[int, TaskContext], Any]) -> None:
+    """Forked worker body: run assigned tasks, stream packages, exit.
+
+    Ends with ``os._exit(0)`` so the inherited driver state (atexit
+    handlers, buffered IO, resource-manager teardown) never runs twice.
+    """
+    try:
+        for partition in partitions:
+            pkg = _run_one(ctx, stage_id, partition, task)
+            message, shm = _encode_package(pkg)
+            try:
+                conn.send(message)
+            except Exception as exc:  # unpicklable result/spans/events
+                if shm is not None:
+                    shm_discard(shm)
+                    shm = None
+                # Pickling fails before any bytes hit the pipe, so the
+                # stream is still clean for an error package.
+                conn.send((TaskPackage(
+                    partition=partition,
+                    executor_index=pkg.executor_index,
+                    cost=TaskCost(),
+                    error=f"unpicklable package: {exc!r}",
+                ), None, 0, [], 0))
+            if shm is not None:
+                shm.close()
+        conn.send("done")
+    except BaseException:  # noqa: BLE001 - worker death == serial fallback
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        os._exit(0)
+
+
+class TaskPool:
+    """Fork-per-stage process pool with a deterministic merge barrier.
+
+    One instance lives on the :class:`SparkContext` when it is built with
+    ``parallel >= 2``.  The pool owns no long-lived processes: workers are
+    forked per eligible stage (a few ms on Linux) so they always see the
+    driver's current lineage, caches and shuffle state without any
+    shipping or synchronization protocol.
+
+    Args:
+        workers: maximum workers per stage (the effective width is
+            ``min(workers, partitions)``).
+        start_method: ``multiprocessing`` start method.  Only ``fork``
+            can inherit the driver graph; ``spawn`` / ``forkserver``
+            require the dispatch state to pickle, which the lambda-laden
+            RDD lineage does not, so they probe and fall back to serial
+            (see docs/performance.md for the caveat).
+    """
+
+    def __init__(self, workers: int, start_method: str = "fork") -> None:
+        if workers < 2:
+            raise ValueError("TaskPool needs at least 2 workers")
+        if start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start method {start_method!r}")
+        self.workers = int(workers)
+        self.start_method = start_method
+
+    def run_stage(self, ctx: "SparkContext", stage_id: int,
+                  partitions: List[int],
+                  task: Callable[[int, TaskContext], Any]
+                  ) -> Optional[Dict[int, TaskPackage]]:
+        """Run one stage's tasks on forked workers.
+
+        Returns partition -> package for every task a worker delivered
+        (possibly missing entries if a worker died), or ``None`` when the
+        pool cannot run at all (start method cannot ship the closure).
+        The caller — :meth:`DAGScheduler._run_tasks_pooled` — validates
+        and replays the packages in dispatch order.
+        """
+        n = min(self.workers, len(partitions))
+        if n < 2:
+            return None
+        mp_ctx = multiprocessing.get_context(self.start_method)
+        if self.start_method != "fork":
+            # Non-fork start methods pickle the Process args; the driver
+            # graph (live contexts, lambdas in the lineage) is not
+            # picklable, so probe instead of crashing mid-dispatch.
+            try:
+                pickle.dumps((ctx, task))
+            except Exception:
+                return None
+        metrics = ctx.metrics
+        metrics.set_gauge(POOL_WORKERS_G, float(n))
+        metrics.inc(POOL_TASKS_DISPATCHED, float(len(partitions)))
+        workers = []
+        for w in range(n):
+            recv_conn, send_conn = mp_ctx.Pipe(duplex=False)
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(send_conn, ctx, stage_id, partitions[w::n], task),
+                daemon=True,
+            )
+            proc.start()
+            # The parent drops its copy of the write end immediately so a
+            # worker death surfaces as EOF on the read end.
+            send_conn.close()
+            workers.append((proc, recv_conn))
+        packages: Dict[int, TaskPackage] = {}
+        for proc, conn in workers:
+            try:
+                while True:
+                    message = conn.recv()
+                    if message == "done":
+                        break
+                    pkg = _decode_package(message, metrics)
+                    packages[pkg.partition] = pkg
+            except (EOFError, OSError):
+                # Worker died mid-stream; its remaining partitions are
+                # simply absent and fall back to the serial loop.
+                pass
+            finally:
+                conn.close()
+        for proc, _conn in workers:
+            proc.join(timeout=WORKER_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.kill()
+                proc.join()
+        return packages

@@ -179,13 +179,20 @@ def _closure_args(call: ast.Call,
     return out
 
 
-def _rdd_calls(func: ast.AST) -> List[ast.Call]:
-    """Calls to RDD closure-shipping methods inside one function body."""
+#: Methods that submit a closure to the process pool, where it must
+#: survive a fork/pickle boundary (see ``repro.dataflow.pool`` and the
+#: multiprocessing checklist in docs/static-analysis.md).
+_POOL_SUBMIT_METHODS = {"run_stage", "run_job"}
+
+
+def _rdd_calls(func: ast.AST,
+               methods: Set[str] = _RDD_METHODS) -> List[ast.Call]:
+    """Calls to closure-shipping methods inside one function body."""
     out = []
     for node in ast.walk(func):
         if isinstance(node, ast.Call) \
                 and isinstance(node.func, ast.Attribute) \
-                and node.func.attr in _RDD_METHODS:
+                and node.func.attr in methods:
             out.append(node)
     return out
 
@@ -359,16 +366,22 @@ class UnpicklableCaptureRule(FlowRule):
 
     id = "SIM102"
     name = "unpicklable-capture"
-    description = ("RDD closure captures an unpicklable object (lock, "
-                   "thread, socket, generator, lambda) that cannot cross "
-                   "a process boundary")
+    description = ("RDD or pool-submitted closure captures an unpicklable "
+                   "object (lock, thread, socket, generator, lambda) that "
+                   "cannot cross a process boundary")
+
+    #: RDD methods plus the pool submission boundary: closures handed to
+    #: ``TaskPool.run_stage`` / ``DAGScheduler.run_job`` additionally run
+    #: in forked worker processes, so the same capture rules apply (see
+    #: the multiprocessing checklist in docs/static-analysis.md).
+    _METHODS = _RDD_METHODS | _POOL_SUBMIT_METHODS
 
     def check_flow(self, tree: ast.AST, relpath: str,
                    program: ProgramIndex) -> List[Violation]:
         aliases = _import_aliases(tree)
         out: List[Violation] = []
         for func, _cls in iter_functions_with_class(tree):
-            calls = _rdd_calls(func)
+            calls = _rdd_calls(func, self._METHODS)
             if not calls:
                 continue
             cfg = build_cfg(func)

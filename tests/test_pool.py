@@ -1,0 +1,364 @@
+"""Unit tests for ``repro.dataflow.pool`` and its scheduler integration.
+
+The equivalence suite (tests/test_batch_equivalence.py) proves the headline
+contract — serial and pooled runs are bit-identical.  This file pins the
+mechanisms underneath: the shared-memory column transport, the metric
+event recorder, package encode/decode, the eligibility gates that keep
+coupled stages serial, and the fallback paths that turn every pool
+surprise back into the unchanged serial loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.batch import RecordBatch, shm_export, shm_import
+from repro.common.config import ClusterConfig
+from repro.common.metrics import (
+    POOL_PACKAGES_INVALID,
+    POOL_PICKLE_FALLBACKS,
+    POOL_SHM_BYTES,
+    POOL_STAGES_PARALLEL,
+    POOL_TASKS_DISPATCHED,
+    MetricsRegistry,
+)
+from repro.common.simclock import TaskCost
+from repro.dataflow.context import SparkContext
+from repro.dataflow.pool import (
+    TaskPackage,
+    TaskPool,
+    _decode_package,
+    _encode_package,
+    default_parallel,
+    set_default_parallel,
+)
+
+POOL_PREFIX = "dataflow.pool."
+
+
+def make_ctx(parallel=0, **kwargs):
+    cluster = ClusterConfig(num_executors=4, executor_mem_bytes=1 << 40)
+    return SparkContext(cluster, parallel=parallel, **kwargs)
+
+
+def drop_pool(snapshot):
+    return {k: v for k, v in snapshot.items()
+            if not k.startswith(POOL_PREFIX)}
+
+
+# ----------------------------------------------------------------------
+# shared-memory column transport
+# ----------------------------------------------------------------------
+
+class TestShmTransport:
+    def test_roundtrip_1d(self):
+        batches = [
+            RecordBatch(np.arange(10, dtype=np.int64),
+                        np.linspace(0.0, 1.0, 10)),
+            RecordBatch(np.array([7, 7, 9], dtype=np.int64),
+                        np.array([-1.5, 2.5, 0.0])),
+        ]
+        shm, nbytes, descs = shm_export(batches)
+        try:
+            assert nbytes > 0 and len(descs) == 2
+        finally:
+            shm.close()
+        out = shm_import(shm.name, descs)
+        assert len(out) == 2
+        for a, b in zip(batches, out):
+            np.testing.assert_array_equal(a.keys, b.keys)
+            np.testing.assert_array_equal(a.values, b.values)
+            assert b.values.dtype == a.values.dtype
+
+    def test_roundtrip_2d_values(self):
+        batch = RecordBatch(np.arange(5, dtype=np.int64),
+                            np.arange(15, dtype=np.float64).reshape(5, 3))
+        shm, _nbytes, descs = shm_export([batch])
+        shm.close()
+        (out,) = shm_import(shm.name, descs)
+        assert out.values.shape == (5, 3)
+        np.testing.assert_array_equal(out.values, batch.values)
+
+    def test_roundtrip_empty_batch(self):
+        batch = RecordBatch(np.array([], dtype=np.int64),
+                            np.array([], dtype=np.float64))
+        shm, nbytes, descs = shm_export([batch])
+        shm.close()
+        (out,) = shm_import(shm.name, descs)
+        assert len(out.keys) == 0 and len(out.values) == 0
+
+    def test_import_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        batch = RecordBatch(np.arange(4, dtype=np.int64),
+                            np.arange(4, dtype=np.float64))
+        shm, _nbytes, descs = shm_export([batch])
+        shm.close()
+        shm_import(shm.name, descs)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm.name)
+
+    def test_export_rejects_boxed_batches(self):
+        boxed = RecordBatch(np.arange(3, dtype=np.int64),
+                            [object(), object(), object()])
+        assert not boxed.is_columnar
+        with pytest.raises(ValueError):
+            shm_export([boxed])
+
+
+# ----------------------------------------------------------------------
+# metric event recording & replay
+# ----------------------------------------------------------------------
+
+class TestMetricsRecording:
+    def test_replay_reproduces_every_unit(self):
+        src = MetricsRegistry()
+        src.begin_recording()
+        src.inc("dataflow.a", 2.0)
+        src.inc("dataflow.a", 0.5)
+        src.observe("dataflow.h", 10.0)
+        src.set_gauge("dataflow.g", 3.0)
+        src.set_max("dataflow.m", 7.0)
+        events = src.end_recording()
+        assert len(events) == 5
+
+        dst = MetricsRegistry()
+        dst.replay(events)
+        assert dst.snapshot() == src.snapshot()
+
+    def test_replay_inc_is_state_independent(self):
+        # The replayed additions must be the same IEEE operations the
+        # original inc calls performed, regardless of prior counter state.
+        src = MetricsRegistry()
+        src.inc("dataflow.a", 0.1)
+        src.begin_recording()
+        src.inc("dataflow.a", 0.2)
+        events = src.end_recording()
+        dst = MetricsRegistry()
+        dst.inc("dataflow.a", 0.1)
+        dst.replay(events)
+        assert dst.get("dataflow.a") == src.get("dataflow.a")
+
+    def test_end_recording_stops_capture(self):
+        reg = MetricsRegistry()
+        reg.begin_recording()
+        reg.inc("dataflow.a")
+        events = reg.end_recording()
+        reg.inc("dataflow.b")
+        assert [name for _k, name, _v in events] == ["dataflow.a"]
+
+    def test_replay_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().replay([("bogus", "dataflow.a", 1.0)])
+
+
+# ----------------------------------------------------------------------
+# package encode / decode
+# ----------------------------------------------------------------------
+
+class TestPackageCodec:
+    def test_columnar_result_travels_by_shm(self):
+        batch = RecordBatch(np.arange(6, dtype=np.int64),
+                            np.arange(6, dtype=np.float64))
+        pkg = TaskPackage(partition=0, executor_index=0, cost=TaskCost(),
+                          result=[batch])
+        message, shm = _encode_package(pkg)
+        assert shm is not None
+        shm.close()
+        metrics = MetricsRegistry()
+        out = _decode_package(message, metrics)
+        np.testing.assert_array_equal(out.result[0].values, batch.values)
+        assert metrics.get(POOL_SHM_BYTES) > 0
+        assert metrics.get(POOL_PICKLE_FALLBACKS) == 0
+
+    def test_boxed_batch_falls_back_to_pickle(self):
+        boxed = RecordBatch(np.arange(3, dtype=np.int64),
+                            ["a", "b", "c"])
+        assert not boxed.is_columnar
+        pkg = TaskPackage(partition=1, executor_index=1, cost=TaskCost(),
+                          result=[boxed])
+        message, shm = _encode_package(pkg)
+        assert shm is None
+        metrics = MetricsRegistry()
+        out = _decode_package(message, metrics)
+        assert list(out.result[0].values) == ["a", "b", "c"]
+        assert metrics.get(POOL_PICKLE_FALLBACKS) == 1
+        assert metrics.get(POOL_SHM_BYTES) == 0
+
+
+# ----------------------------------------------------------------------
+# pool construction & defaults
+# ----------------------------------------------------------------------
+
+class TestPoolConfig:
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            TaskPool(1)
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError):
+            TaskPool(4, start_method="thread")
+
+    def test_process_default_round_trips(self):
+        assert default_parallel() == 0
+        try:
+            set_default_parallel(4)
+            ctx = make_ctx(parallel=None)
+            try:
+                assert ctx.pool is not None and ctx.pool.workers == 4
+            finally:
+                ctx.stop()
+        finally:
+            set_default_parallel(0)
+        ctx = make_ctx(parallel=None)
+        try:
+            assert ctx.pool is None
+        finally:
+            ctx.stop()
+
+
+# ----------------------------------------------------------------------
+# eligibility: coupled stages never fork
+# ----------------------------------------------------------------------
+
+class TestEligibility:
+    def _dispatched(self, ctx):
+        return ctx.metrics.get(POOL_TASKS_DISPATCHED)
+
+    def test_cached_lineage_stays_serial(self):
+        ctx = make_ctx(parallel=4)
+        try:
+            rdd = ctx.parallelize(range(100), 4).map(lambda x: x * 2)
+            rdd.cache()
+            assert rdd.count() == 100
+            assert rdd.count() == 100  # served from the cache
+            # Cached lineage is gated before the pool is even consulted
+            # (pool_ok=False at the run_job call site), so nothing is
+            # ever dispatched.
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_task_hooks_stay_serial(self):
+        ctx = make_ctx(parallel=4)
+        try:
+            ctx.add_task_hook(lambda *a: None)
+            assert ctx.parallelize(range(100), 4).count() == 100
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_speculation_stays_serial(self):
+        ctx = make_ctx(parallel=4, speculation=True)
+        try:
+            assert ctx.parallelize(range(100), 4).count() == 100
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_dead_executor_stays_serial(self):
+        ctx = make_ctx(parallel=4)
+        try:
+            ctx.kill_executor(0)
+            assert ctx.parallelize(range(100), 4).count() == 100
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_single_partition_stays_serial(self):
+        ctx = make_ctx(parallel=4)
+        try:
+            assert ctx.parallelize(range(100), 1).count() == 100
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_spawn_probe_falls_back_to_serial(self):
+        # Non-fork start methods must pickle the driver graph, which the
+        # lambda-laden lineage cannot; the probe declines and the stage
+        # runs serially with identical results.
+        ctx = make_ctx(parallel=4, pool_start_method="spawn")
+        try:
+            got = ctx.parallelize(range(100), 4).map(lambda x: x + 1).sum()
+            assert got == sum(range(1, 101))
+            assert self._dispatched(ctx) == 0
+        finally:
+            ctx.stop()
+
+    def test_eligible_stage_engages(self):
+        ctx = make_ctx(parallel=4)
+        try:
+            assert ctx.parallelize(range(100), 4).count() == 100
+            assert self._dispatched(ctx) > 0
+            assert ctx.metrics.get(POOL_STAGES_PARALLEL) > 0
+        finally:
+            ctx.stop()
+
+
+# ----------------------------------------------------------------------
+# fallback: every pool surprise degrades to the serial loop
+# ----------------------------------------------------------------------
+
+class TestFallback:
+    def test_task_exception_reproduced_serially(self):
+        def boom(x):
+            if x == 13:
+                raise ValueError("boom on 13")
+            return x
+
+        def run(parallel):
+            ctx = make_ctx(parallel=parallel)
+            try:
+                with pytest.raises(ValueError, match="boom on 13"):
+                    ctx.parallelize(range(100), 4).map(boom).collect()
+                return ctx.sim_time()
+            finally:
+                ctx.stop()
+
+        assert run(0) == run(4)
+
+    def test_foreign_metric_event_invalidates_package(self):
+        # A task closure that touches non-dataflow metrics mutated state
+        # the fork kept private; the package is rejected and the stage
+        # reruns serially, applying the increment against real state.
+        def run(parallel):
+            ctx = make_ctx(parallel=parallel)
+            try:
+                metrics = ctx.metrics
+
+                def touch(x):
+                    metrics.inc("custom.sideeffect")
+                    return x + 1
+
+                got = ctx.parallelize(range(40), 4).map(touch).collect()
+                return got, drop_pool(ctx.metrics.snapshot()), \
+                    ctx.metrics.get(POOL_PACKAGES_INVALID), ctx.sim_time()
+            finally:
+                ctx.stop()
+
+        s_got, s_snap, _s_invalid, s_time = run(0)
+        p_got, p_snap, p_invalid, p_time = run(4)
+        assert s_got == p_got
+        assert s_snap == p_snap
+        assert s_time == p_time
+        assert s_snap["custom.sideeffect"] == 40.0
+        assert p_invalid >= 1
+
+    def test_unpicklable_result_falls_back(self):
+        # The worker cannot ship a lambda-bearing result; it sends an
+        # error package instead and the driver reruns the stage serially.
+        def run(parallel):
+            ctx = make_ctx(parallel=parallel)
+            try:
+                got = ctx.parallelize(range(8), 4).map(
+                    lambda x: (x, lambda: x)).collect()
+                return ([k for k, _f in got], ctx.sim_time(),
+                        ctx.metrics.get(POOL_PACKAGES_INVALID))
+            finally:
+                ctx.stop()
+
+        s_keys, s_time, _ = run(0)
+        p_keys, p_time, p_invalid = run(4)
+        assert s_keys == p_keys
+        assert sorted(s_keys) == list(range(8))
+        assert s_time == p_time
+        assert p_invalid >= 1

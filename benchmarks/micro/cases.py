@@ -45,7 +45,8 @@ PARALLEL_WORKERS = 0
 #: counters — shuffle volumes, PS request counts, HDFS bytes — so for a
 #: fixed case they are bit-identical on every host, unlike the wall-clock
 #: fields next to them.
-METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.", "serve.")
+METRIC_PREFIXES = ("dataflow.", "ps.", "hdfs.", "net.", "serve.",
+                   "streaming.", "ingest.")
 
 
 def _spark(parallel: int = 0) -> SparkContext:
@@ -359,6 +360,86 @@ def case_serve_qps(n: int) -> Dict:
     return _result("serve_qps", n, boxed_s, batched_s, snap)
 
 
+def case_streaming_window(n: int) -> Dict:
+    """Streaming windows: per-window full recompute vs incremental.
+
+    Both legs replay the same mutation stream (adds + removals over a
+    power-law base graph, ~1% churn per window) through the
+    :class:`~repro.streaming.graph.StreamingGraph`.  Boxed re-runs the
+    batch PageRank pipeline after every window — the operating mode the
+    streaming plane replaces — while batched repairs the PS-resident
+    rank/residual state with the incremental cascade.  Wall-clock is the
+    host cost; ``sim_cost_ratio`` additionally pins the sim-clock
+    incremental/full ratio the acceptance gate bounds at 0.25.
+    """
+    from repro.datasets.generators import powerlaw_graph
+    from repro.ingest.mutations import edge_adds, edge_dels
+    from repro.streaming import IncrementalPageRank, StreamingGraph
+
+    windows = 4
+    num_vertices = max(n, 100)
+    base_edges = 10 * num_vertices
+    src, dst = powerlaw_graph(num_vertices, base_edges, seed=11)
+    rng = np.random.default_rng(12)
+    per_window = max(2, n // windows)
+    rm = per_window // 2
+    removal_idx = rng.choice(base_edges, size=windows * rm, replace=False)
+    batches = []
+    for w in range(windows):
+        adds = per_window - rm
+        a_s = rng.integers(0, num_vertices, adds)
+        a_d = (a_s + 1 + rng.integers(0, num_vertices - 1, adds)
+               ) % num_vertices
+        ridx = removal_idx[w * rm:(w + 1) * rm]
+        batches.append(edge_adds(a_s, a_d)
+                       + edge_dels(src[ridx], dst[ridx]))
+
+    def run(refresh) -> tuple:
+        best = float("inf")
+        snapshot: Dict[str, float] = {}
+        sim_cost = 0.0
+        for _ in range(REPEATS):
+            cluster = ClusterConfig(
+                num_executors=4, executor_mem_bytes=1 << 40,
+                num_servers=2, server_mem_bytes=1 << 40,
+            )
+            spark = SparkContext(cluster)
+            psctx = PSContext(spark)
+            try:
+                graph = StreamingGraph(psctx, num_vertices,
+                                       metrics=spark.metrics)
+                graph.apply(edge_adds(src, dst))
+                pr = IncrementalPageRank(graph, tol=1e-6)
+                pr.bootstrap()
+                s0 = spark.sim_time()
+                t0 = time.perf_counter()
+                for batch in batches:
+                    delta = graph.apply(batch)
+                    refresh(pr, delta)
+                best = min(best, time.perf_counter() - t0)
+                sim_cost = spark.sim_time() - s0
+                snapshot = _metrics_snapshot(spark)
+            finally:
+                psctx.stop()
+                spark.stop()
+        return best, snapshot, sim_cost
+
+    def boxed(pr, delta):
+        pr.full_recompute()
+
+    def batched(pr, delta):
+        pr.update(delta)
+
+    boxed_s, _, sim_full = run(boxed)
+    batched_s, snap, sim_inc = run(batched)
+    out = _result("streaming_window", n, boxed_s, batched_s, snap)
+    out["sim_cost_full_s"] = round(sim_full, 9)
+    out["sim_cost_incremental_s"] = round(sim_inc, 9)
+    out["sim_cost_ratio"] = (round(sim_inc / sim_full, 6)
+                             if sim_full else 0.0)
+    return out
+
+
 #: name -> (case_fn, quick_n, full_n).  Full-size counts are DS1/DS2-shaped
 #: runs (paper Table I scale relative to the simulator): a million-record
 #: shuffle is routine once the columnar paths and the pool carry it.
@@ -369,6 +450,7 @@ CASES: Dict[str, tuple] = {
     "graphsage_minibatch": (case_graphsage_minibatch, 20_000, 400_000),
     "lint_incremental": (case_lint_incremental, 0, 0),
     "serve_qps": (case_serve_qps, 4_000, 100_000),
+    "streaming_window": (case_streaming_window, 2_000, 20_000),
 }
 
 

@@ -479,3 +479,22 @@ SERVE_LATENCY_H = "serve.latency_s"
 SERVE_DEGRADED_LATENCY_H = "serve.latency.degraded_s"
 SERVE_BATCH_SIZE_H = "serve.batch.size_dist"
 SERVE_QUEUE_DEPTH_G = "serve.queue.depth"
+
+# Well-known streaming-ingest and incremental-recompute names (the
+# ``ingest.*`` and ``streaming.*`` families; catalogued in
+# docs/observability.md, semantics in docs/streaming.md).  ``polls``
+# counts only polls that consumed records; empty polls (e.g. ``drain``'s
+# terminating probe) go to ``polls.empty`` so records-per-poll stays an
+# honest batch-size signal.
+INGEST_POLLS = "ingest.polls"
+INGEST_POLLS_EMPTY = "ingest.polls.empty"
+INGEST_RECORDS = "ingest.records"
+STREAM_WINDOWS = "streaming.windows"
+STREAM_EDGES_ADDED = "streaming.edges.added"
+STREAM_EDGES_REMOVED = "streaming.edges.removed"
+STREAM_VERTICES_DROPPED = "streaming.vertices.dropped"
+STREAM_DIRTY_VERTICES = "streaming.dirty_vertices"
+STREAM_EDGES_LIVE_G = "streaming.edges.live"
+STREAM_COST_INC_H = "streaming.window.cost_incremental_s"
+STREAM_COST_FULL_H = "streaming.window.cost_full_s"
+STREAM_COST_RATIO_G = "streaming.window.cost_ratio"

@@ -42,8 +42,16 @@ def parse_edge_lines(lines: Iterator[str],
         parts = line.split()
         if len(parts) < 2:
             continue
-        srcs.append(int(parts[0]))
-        dsts.append(int(parts[1]))
+        try:
+            src = int(parts[0])
+            dst = int(parts[1])
+        except ValueError:
+            # Streaming landing files interleave removal marker lines
+            # ("-e"/"-v", see repro.ingest.mutations) with plain edge
+            # adds; additive batch jobs skip the markers.
+            continue
+        srcs.append(src)
+        dsts.append(dst)
         if weighted:
             weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
     return EdgeBlock(

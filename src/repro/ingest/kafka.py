@@ -6,18 +6,27 @@ feature engineering, model training ... in a dataflow task, without moving
 data in and out of file systems" — is the reason Tencent stays on Spark at
 all.  This module provides that ingestion edge of the pipeline:
 
-* :class:`KafkaTopic` — a partitioned, append-only log of edge records
-  with consumer offsets;
+* :class:`KafkaTopic` — a partitioned, append-only log of typed
+  :class:`~repro.ingest.mutations.Mutation` records (edge add/remove,
+  vertex remove) with consumer offsets;
 * :class:`EdgeStreamConsumer` — drains new records in batches, appends
   them to an HDFS landing directory (so batch jobs see them), and
   *incrementally* merges them into a PS neighbor table, keeping an online
   model fresh without re-running the groupBy over history.
+
+Delivery is **at-least-once**: a poll stages its reads, lands them on
+HDFS and merges them into the PS *before* committing offsets, so a crash
+mid-poll replays the batch instead of silently dropping it.  Landing
+files have deterministic names (overwritten on retry) and the PS merge
+has set semantics, so replays are idempotent end to end — see
+docs/streaming.md.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -25,46 +34,68 @@ from repro.common.errors import ConfigError
 from repro.common.metrics import MetricsRegistry
 from repro.core.blocks import build_neighbor_block
 from repro.hdfs.filesystem import Hdfs
+from repro.ingest.mutations import (
+    EDGE_ADD,
+    EDGE_DEL,
+    Mutation,
+    edge_adds,
+    edge_dels,
+    encode_line,
+    group_runs,
+    vertex_dels,
+)
 
 
 @dataclass
 class KafkaTopic:
-    """A partitioned append-only log of ``(src, dst)`` edge records.
+    """A partitioned append-only log of typed mutation records.
 
     Producers append; consumers read from per-partition offsets.  Records
     are partitioned by ``src mod num_partitions`` (keyed production, as an
-    edge stream keyed by source vertex would be).
+    edge stream keyed by source vertex would be) — so all mutations
+    touching one source vertex stay ordered within one partition.
     """
 
     name: str
     num_partitions: int = 4
-    _logs: List[List[Tuple[int, int]]] = field(default_factory=list)
+    _logs: List[List[Mutation]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
             raise ConfigError("topic needs at least one partition")
         self._logs = [[] for _ in range(self.num_partitions)]
 
+    def _append(self, mutations: List[Mutation]) -> int:
+        for m in mutations:
+            self._logs[m.src % self.num_partitions].append(m)
+        return len(mutations)
+
     def produce(self, src: np.ndarray, dst: np.ndarray) -> int:
-        """Append a batch of edges; returns records appended."""
+        """Append a batch of edge *adds*; returns records appended."""
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         if len(src) != len(dst):
             raise ConfigError("src/dst length mismatch")
-        pids = src % self.num_partitions
-        for p in range(self.num_partitions):
-            mask = pids == p
-            self._logs[p].extend(
-                zip(src[mask].tolist(), dst[mask].tolist())
-            )
-        return len(src)
+        return self._append(edge_adds(src, dst))
+
+    def produce_removals(self, src: np.ndarray, dst: np.ndarray) -> int:
+        """Append a batch of edge *removes*; returns records appended."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise ConfigError("src/dst length mismatch")
+        return self._append(edge_dels(src, dst))
+
+    def produce_vertex_removals(self, vertices: np.ndarray) -> int:
+        """Append vertex-remove records; returns records appended."""
+        return self._append(vertex_dels(vertices))
 
     def end_offsets(self) -> List[int]:
         """Current log length per partition."""
         return [len(log) for log in self._logs]
 
     def read(self, partition: int, offset: int,
-             max_records: int | None = None) -> List[Tuple[int, int]]:
+             max_records: int | None = None) -> List[Mutation]:
         """Records of ``partition`` from ``offset`` (up to ``max_records``)."""
         log = self._logs[partition]
         end = len(log) if max_records is None else offset + max_records
@@ -79,20 +110,36 @@ class EdgeStreamConsumer:
         hdfs: landing filesystem; each poll writes one file per partition
             under ``landing_dir`` so downstream batch jobs can re-read the
             full history.
-        landing_dir: HDFS directory for landed edge files.
+        landing_dir: HDFS directory for landed edge files.  The consumer's
+            committed position (offsets + file counter) is persisted as a
+            *sibling* file ``{landing_dir}.offsets`` so a restarted
+            consumer resumes exactly where the last committed poll ended.
         table: optional :class:`repro.ps.matrix.PSNeighborTable`; polled
-            edges are merged in incrementally (both directions).
-        metrics: optional counters (``ingest.records``, ``ingest.polls``).
+            mutations are merged in incrementally (both directions, set
+            semantics: adds union, removes subtract).
+        sink: optional callback receiving each poll's ordered mutation
+            list during the merge phase (before the offset commit) — the
+            hook :class:`repro.streaming.engine.StreamingEngine` uses to
+            feed a :class:`~repro.streaming.graph.StreamingGraph`.
+        metrics: optional counters (``ingest.records``, ``ingest.polls``
+            for consuming polls, ``ingest.polls.empty`` for polls that
+            found nothing).
+        resume: when True, restore the persisted position from
+            ``{landing_dir}.offsets`` (a consumer restart); the default
+            starts from offset 0 everywhere.
     """
 
     def __init__(self, topic: KafkaTopic, hdfs: Hdfs,
                  landing_dir: str = "/ingest",
                  table: Optional[object] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 sink: Optional[Callable[[List[Mutation]], None]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 resume: bool = False) -> None:
         self.topic = topic
         self.hdfs = hdfs
         self.landing_dir = landing_dir.rstrip("/")
         self.table = table
+        self.sink = sink
         # Scoped view: every counter below lands under "ingest." without
         # hand-concatenating name strings at each call site.
         self.metrics = (
@@ -102,6 +149,13 @@ class EdgeStreamConsumer:
             p: 0 for p in range(topic.num_partitions)
         }
         self._files = 0
+        if resume and self.hdfs.exists(self.position_path):
+            self._restore_position()
+
+    @property
+    def position_path(self) -> str:
+        """HDFS path of the persisted committed position."""
+        return f"{self.landing_dir}.offsets"
 
     @property
     def lag(self) -> int:
@@ -114,35 +168,53 @@ class EdgeStreamConsumer:
     def poll(self, max_records_per_partition: int | None = None) -> int:
         """Consume one batch: land on HDFS + merge into the PS table.
 
+        The phases run in recovery-safe order — **stage, land, merge,
+        commit**.  Offsets (and the landing-file counter) only advance
+        after the landing write and PS merge succeed, so an exception
+        mid-poll leaves the position untouched and the next poll replays
+        the same batch into the same (deterministically named, overwritten)
+        landing files.
+
         Returns:
             Number of records consumed.
         """
-        consumed = 0
-        all_src: List[int] = []
-        all_dst: List[int] = []
+        # Phase 1 — stage: read every partition without moving offsets.
+        staged: Dict[int, List[Mutation]] = {}
         for p in range(self.topic.num_partitions):
             records = self.topic.read(
                 p, self.offsets[p], max_records_per_partition
             )
-            if not records:
-                continue
-            self.offsets[p] += len(records)
-            consumed += len(records)
-            lines = [f"{s}\t{d}" for s, d in records]
+            if records:
+                staged[p] = records
+        if not staged:
+            if self.metrics is not None:
+                self.metrics.inc("polls.empty")
+            return 0
+        consumed = sum(len(r) for r in staged.values())
+
+        # Phase 2 — land: one file per partition, deterministic names so
+        # a replayed poll overwrites instead of duplicating.
+        for p, records in staged.items():
             self.hdfs.write_text(
                 f"{self.landing_dir}/batch-{self._files:05d}-p{p}",
-                lines, overwrite=True,
+                [encode_line(m) for m in records], overwrite=True,
             )
-            for s, d in records:
-                all_src.append(s)
-                all_dst.append(d)
-        if consumed:
-            self._files += 1
-            if self.table is not None:
-                self._merge_into_table(
-                    np.asarray(all_src, dtype=np.int64),
-                    np.asarray(all_dst, dtype=np.int64),
-                )
+
+        # Phase 3 — merge: PS neighbor table and/or streaming sink see the
+        # poll's mutations in partition order (per-source order is
+        # preserved because a source's records share one partition).
+        ordered = [m for p in sorted(staged) for m in staged[p]]
+        if self.table is not None:
+            self._merge_into_table(ordered)
+        if self.sink is not None:
+            self.sink(ordered)
+
+        # Phase 4 — commit: advance offsets + file counter and persist
+        # them so a restarted consumer resumes here.
+        for p, records in staged.items():
+            self.offsets[p] += len(records)
+        self._files += 1
+        self._persist_position()
         if self.metrics is not None:
             self.metrics.inc("polls")
             self.metrics.inc("records", consumed)
@@ -158,11 +230,62 @@ class EdgeStreamConsumer:
             total += got
         return total
 
-    def _merge_into_table(self, src: np.ndarray, dst: np.ndarray) -> None:
-        """Incremental neighbor-table update (both edge directions)."""
-        block = build_neighbor_block(
-            np.concatenate([src, dst]), np.concatenate([dst, src]),
-            dedupe=True,
+    # ------------------------------------------------------------------
+    # committed position (crash recovery)
+    # ------------------------------------------------------------------
+
+    def _persist_position(self) -> None:
+        doc = {"offsets": {str(p): o for p, o in self.offsets.items()},
+               "files": self._files}
+        self.hdfs.write_text(
+            self.position_path, [json.dumps(doc, sort_keys=True)],
+            overwrite=True,
         )
-        if block.num_vertices:
-            self.table.push(block.vertices, block.neighbor_arrays())
+
+    def _restore_position(self) -> None:
+        doc = json.loads(self.hdfs.read_lines(self.position_path)[0])
+        for p in self.offsets:
+            self.offsets[p] = int(doc["offsets"].get(str(p), 0))
+        self._files = int(doc["files"])
+
+    # ------------------------------------------------------------------
+    # PS merge
+    # ------------------------------------------------------------------
+
+    def _merge_into_table(self, mutations: List[Mutation]) -> None:
+        """Incremental symmetric neighbor-table update, in stream order."""
+        for op, src, dst in group_runs(mutations):
+            if op == EDGE_ADD:
+                block = build_neighbor_block(
+                    np.concatenate([src, dst]), np.concatenate([dst, src]),
+                    dedupe=True,
+                )
+                if block.num_vertices:
+                    self.table.push(block.vertices, block.neighbor_arrays())
+            elif op == EDGE_DEL:
+                block = build_neighbor_block(
+                    np.concatenate([src, dst]), np.concatenate([dst, src]),
+                    dedupe=True,
+                )
+                if block.num_vertices:
+                    self.table.remove(
+                        block.vertices, block.neighbor_arrays()
+                    )
+            else:  # VERTEX_DEL
+                doomed = np.unique(src)
+                # Detach the vertices from their neighbors' tables, then
+                # drop their own.
+                nbrs = self.table.get(doomed)
+                lens = np.asarray([len(t) for t in nbrs], dtype=np.int64)
+                if lens.sum():
+                    block = build_neighbor_block(
+                        np.concatenate(
+                            [t for t in nbrs if len(t)]
+                        ),
+                        np.repeat(doomed, lens),
+                        dedupe=True,
+                    )
+                    self.table.remove(
+                        block.vertices, block.neighbor_arrays()
+                    )
+                self.table.drop(doomed)

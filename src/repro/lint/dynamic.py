@@ -487,3 +487,95 @@ def _serve_chaos(seed: int, tracer: Tracer, metrics: MetricsRegistry
             "alert_fired_at": [a.fired_at_s for a in collector.alerts],
         }
         return stats, ctx.sim_time()
+
+
+@workload("streaming-window")
+def _streaming_window(seed: int, tracer: Tracer, metrics: MetricsRegistry
+                      ) -> Tuple[Dict[str, float], float]:
+    """The streaming-mutation plane end to end, double-run in strict mode.
+
+    Mutations flow topic -> staged at-least-once consumer -> window
+    engine; every window mixes adds, removals and a vertex drop, and the
+    incremental PageRank / components / embedding refreshes plus the
+    per-window full-recompute baselines all run on the sim clock.  The
+    CI streaming-smoke job asserts the whole pipeline — landing files,
+    offsets, deltas, cascade pushes, sim costs — is bit-reproducible.
+    """
+    import numpy as np
+
+    from repro.common.rng import make_rng
+    from repro.core.context import PSGraphContext
+    from repro.datasets.generators import powerlaw_graph
+    from repro.ingest.kafka import EdgeStreamConsumer, KafkaTopic
+    from repro.streaming import (
+        IncrementalComponents,
+        IncrementalPageRank,
+        OnlineEmbeddingRefresh,
+        StreamingEngine,
+        StreamingGraph,
+    )
+
+    num_vertices = 300
+    with PSGraphContext(_small_cluster(), app_name="lint-streaming",
+                        metrics=metrics, tracer=tracer) as ctx:
+        topic = KafkaTopic("mutations", num_partitions=4)
+        graph = StreamingGraph(ctx.ps, num_vertices, metrics=ctx.metrics)
+        consumer = EdgeStreamConsumer(
+            topic, ctx.hdfs, landing_dir="/stream/edges",
+            metrics=ctx.metrics)
+        engine = StreamingEngine(graph, consumer, measure_full=True)
+        engine.register("pagerank", IncrementalPageRank(graph, tol=1e-8))
+        engine.register("components", IncrementalComponents(graph))
+        engine.register("embedding", OnlineEmbeddingRefresh(
+            graph, dim=4, seed=seed))
+
+        src, dst = powerlaw_graph(
+            num_vertices, 1200, seed=derive_seed(seed, "lint-stream-base"))
+        topic.produce(src, dst)
+        engine.run_window()  # base-load window
+        engine.bootstrap()
+        engine.reports.clear()
+
+        rng = make_rng(derive_seed(seed, "lint-stream-muts"))
+        for w in range(3):
+            a_s = rng.integers(0, num_vertices, 10)
+            a_d = (a_s + 1 + rng.integers(0, num_vertices - 1, 10)
+                   ) % num_vertices
+            topic.produce(a_s, a_d)
+            present = graph.present_vertices()
+            victims = present[rng.integers(0, len(present), 6)]
+            outs = graph.out.get(victims)
+            r_s, r_d = [], []
+            for v, nb in zip(victims.tolist(), outs):
+                if len(nb):
+                    r_s.append(v)
+                    r_d.append(int(nb[rng.integers(0, len(nb))]))
+            if r_s:
+                topic.produce_removals(
+                    np.asarray(r_s, dtype=np.int64),
+                    np.asarray(r_d, dtype=np.int64))
+            if w == 1:
+                doomed = present[int(rng.integers(0, len(present)))]
+                topic.produce_vertex_removals(
+                    np.asarray([doomed], dtype=np.int64))
+            engine.run_window()
+
+        ids, ranks = engine.algos["pagerank"].ranks()
+        _, labels = engine.algos["components"].assignments()
+        summary = engine.summary()
+        stats = {
+            "windows": summary["windows"],
+            "records": float(sum(r.records for r in engine.reports)),
+            "edges_live": float(graph.num_edges),
+            "present": float(len(ids)),
+            "ranks_checksum": float(ranks.sum()),
+            "labels_checksum": float(labels.sum()),
+            "components": float(len(np.unique(labels))),
+            "dirty": float(sum(r.dirty_vertices for r in engine.reports)),
+            "cost_incremental_s": summary["cost_incremental_s"],
+            "cost_full_s": summary["cost_full_s"],
+            "cost_ratio": summary["cost_ratio"],
+            "landed_files": float(consumer._files),
+            "ingest_polls": metrics.get("ingest.polls"),
+        }
+        return stats, ctx.sim_time()

@@ -47,6 +47,8 @@ _COMPONENT_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("yarn", "yarn"),
     ("chaos", "chaos"),
     ("serve", "serve"),
+    ("streaming", "streaming"),
+    ("ingest", "ingest"),
     ("runner", "driver"),
     ("graphx", "graphx"),
     ("obs", "obs"),

@@ -409,6 +409,47 @@ class PSAgent:
         self._metrics().inc(PS_PUSHES)
         self._metrics().inc(PS_PUSH_BYTES, total)
 
+    def remove_neighbors(self, meta: MatrixMeta, vertices: np.ndarray,
+                         tables: List[np.ndarray]) -> None:
+        """Subtract per-vertex neighbor arrays from the PS tables."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pids = meta.partitioner.partition_array(vertices)
+        calls: List[Call] = []
+        total = 0
+        for pid in np.unique(pids):
+            mask = pids == pid
+            sub_v = vertices[mask]
+            sub_t = [tables[i] for i in np.flatnonzero(mask)]
+            nbytes = int(sub_v.nbytes + sum(t.nbytes for t in sub_t))
+            total += nbytes
+            calls.append((
+                meta.server_of(int(pid)), "remove_neighbors",
+                (meta.name, int(pid), sub_v, sub_t),
+                nbytes, 0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(PS_PUSH_BYTES, total)
+
+    def drop_vertices(self, meta: MatrixMeta,
+                      vertices: np.ndarray) -> None:
+        """Delete the adjacency tables of ``vertices`` across servers."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pids = meta.partitioner.partition_array(vertices)
+        calls: List[Call] = []
+        total = 0
+        for pid in np.unique(pids):
+            sub_v = vertices[pids == pid]
+            total += int(sub_v.nbytes)
+            calls.append((
+                meta.server_of(int(pid)), "drop_vertices",
+                (meta.name, int(pid), sub_v),
+                int(sub_v.nbytes), 0,
+            ))
+        self._group_call(calls)
+        self._metrics().inc(PS_PUSHES)
+        self._metrics().inc(PS_PUSH_BYTES, total)
+
     def get_neighbors(self, meta: MatrixMeta,
                       vertices: np.ndarray) -> List[np.ndarray]:
         """Neighbor arrays for ``vertices``, aligned with the input order."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +68,10 @@ class PullCache:
     _entries: "OrderedDict[Tuple[int, Optional[int]], Tuple[np.ndarray, int]]" = (
         field(default_factory=OrderedDict)
     )
+    # Per-key column index: key -> set of cached columns.  Invalidation
+    # on write consults this instead of scanning every entry, making a
+    # push O(keys written) rather than O(cache size).
+    _index: "Dict[int, set]" = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -91,7 +95,7 @@ class PullCache:
                 continue
             value, pulled_at = entry
             if epoch - pulled_at > self.staleness:
-                del self._entries[(int(k), col)]
+                self._discard((int(k), col))
                 self.stats.misses += 1
                 continue
             mask[i] = True
@@ -108,10 +112,12 @@ class PullCache:
             kc = (int(k), col)
             self._entries[kc] = (np.copy(v), epoch)
             self._entries.move_to_end(kc)
+            self._index.setdefault(int(k), set()).add(col)
         if self.capacity is not None:
             evicted = 0
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                kc, _ = self._entries.popitem(last=False)
+                self._unindex(kc)
                 evicted += 1
             if evicted:
                 self.stats.evictions += evicted
@@ -119,15 +125,31 @@ class PullCache:
                     self.metrics.inc(PS_CACHE_EVICTIONS, evicted)
 
     def invalidate(self, keys: np.ndarray) -> None:
-        """Drop cached rows for written keys (all columns)."""
-        key_set = set(keys.tolist())
-        doomed = [kc for kc in self._entries if kc[0] in key_set]
-        for kc in doomed:
-            del self._entries[kc]
+        """Drop cached rows for written keys (all columns).
+
+        O(keys written): the per-key column index names the exact entries
+        to delete, so pushing a few rows never scans a large cache.
+        """
+        for k in keys.tolist():
+            for col in self._index.pop(int(k), ()):
+                del self._entries[(int(k), col)]
+
+    def _discard(self, kc: Tuple[int, Optional[int]]) -> None:
+        """Delete one entry and unindex it."""
+        del self._entries[kc]
+        self._unindex(kc)
+
+    def _unindex(self, kc: Tuple[int, Optional[int]]) -> None:
+        cols = self._index.get(kc[0])
+        if cols is not None:
+            cols.discard(kc[1])
+            if not cols:
+                del self._index[kc[0]]
 
     def clear(self) -> None:
         """Drop everything (e.g. after a strict recovery rollback)."""
         self._entries.clear()
+        self._index.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -154,6 +154,15 @@ class PSNeighborTable:
         """Merge neighbor arrays into the PS tables."""
         self.psctx.agent.push_neighbors(self.meta, vertices, tables)
 
+    def remove(self, vertices: np.ndarray,
+               tables: List[np.ndarray]) -> None:
+        """Subtract neighbor arrays from the PS tables (set semantics)."""
+        self.psctx.agent.remove_neighbors(self.meta, vertices, tables)
+
+    def drop(self, vertices: np.ndarray) -> None:
+        """Delete the adjacency tables of ``vertices`` entirely."""
+        self.psctx.agent.drop_vertices(self.meta, vertices)
+
     def get(self, vertices: np.ndarray) -> List[np.ndarray]:
         """Neighbor arrays aligned with ``vertices``."""
         return self.psctx.agent.get_neighbors(self.meta, vertices)

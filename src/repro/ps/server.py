@@ -227,6 +227,27 @@ class PSServer:
         self._work(n, "push_neighbors", matrix)
         self._recharge((matrix, pid))
 
+    def remove_neighbors(self, matrix: str, pid: int, vertices: np.ndarray,
+                         tables: List[np.ndarray]) -> None:
+        """Subtract neighbor arrays from the tables of ``vertices``."""
+        self.container.ensure_alive()
+        store = self._store(matrix, pid)
+        n = 0
+        for v, t in zip(np.asarray(vertices).tolist(), tables):
+            store.remove_neighbors(int(v), t)
+            n += len(t)
+        self._work(n, "remove_neighbors", matrix)
+        self._recharge((matrix, pid))
+
+    def drop_vertices(self, matrix: str, pid: int,
+                      vertices: np.ndarray) -> None:
+        """Delete the adjacency tables of ``vertices``."""
+        self.container.ensure_alive()
+        store = self._store(matrix, pid)
+        store.drop_vertices(vertices)
+        self._work(len(vertices), "drop_vertices", matrix)
+        self._recharge((matrix, pid))
+
     def get_neighbors(self, matrix: str, pid: int,
                       vertices: np.ndarray) -> List[np.ndarray]:
         """Neighbor arrays for ``vertices`` (empty for unknown vertices)."""

@@ -227,8 +227,30 @@ class NeighborTableStore(Store):
         self._csr_indptr: np.ndarray | None = None
         self._csr_indices: np.ndarray | None = None
 
+    def _decompact(self) -> None:
+        """Reopen CSR form into the mutable dict form before a write.
+
+        Compaction freezes the adjacency into CSR arrays and clears the
+        dict; any mutation must first rebuild the dict from the CSR or
+        the frozen data would be silently lost (a write to a compacted
+        store previously merged against an empty dict).
+        """
+        if self._csr_vertices is None:
+            return
+        tables: Dict[int, np.ndarray] = {}
+        for i, v in enumerate(self._csr_vertices.tolist()):
+            tables[int(v)] = self._csr_indices[
+                self._csr_indptr[i]:self._csr_indptr[i + 1]
+            ].copy()
+        self.tables = tables
+        self._csr_vertices = None
+        self._csr_indptr = None
+        self._csr_indices = None
+        self._nbytes = sum(v.nbytes + 8 for v in self.tables.values())
+
     def append_neighbors(self, vertex: int, neighbors: np.ndarray) -> None:
         """Merge ``neighbors`` into the table of ``vertex``."""
+        self._decompact()
         neighbors = np.asarray(neighbors, dtype=np.int64)
         old = self.tables.get(vertex)
         if old is None:
@@ -238,7 +260,33 @@ class NeighborTableStore(Store):
             self._nbytes -= old.nbytes + 8
         self.tables[vertex] = merged
         self._nbytes += merged.nbytes + 8
-        self._csr_vertices = None  # invalidate compaction
+
+    def remove_neighbors(self, vertex: int, neighbors: np.ndarray) -> None:
+        """Subtract ``neighbors`` from the table of ``vertex``.
+
+        Removing absent neighbors is a no-op (set semantics, mirroring
+        the union merge of :meth:`append_neighbors`); a table emptied by
+        the removal is deleted entirely.
+        """
+        self._decompact()
+        old = self.tables.get(vertex)
+        if old is None:
+            return
+        kept = np.setdiff1d(old, np.asarray(neighbors, dtype=np.int64))
+        self._nbytes -= old.nbytes + 8
+        if len(kept):
+            self.tables[vertex] = kept
+            self._nbytes += kept.nbytes + 8
+        else:
+            del self.tables[vertex]
+
+    def drop_vertices(self, vertices: np.ndarray) -> None:
+        """Delete the adjacency tables of ``vertices`` (if present)."""
+        self._decompact()
+        for v in np.asarray(vertices, dtype=np.int64).tolist():
+            old = self.tables.pop(int(v), None)
+            if old is not None:
+                self._nbytes -= old.nbytes + 8
 
     def get_neighbors(self, vertices: np.ndarray) -> List[np.ndarray]:
         """Sorted neighbor arrays for each requested vertex."""

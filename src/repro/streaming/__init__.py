@@ -1,0 +1,24 @@
+"""Streaming graph mutations with incremental recompute.
+
+The streaming plane keeps PS-resident graph state — adjacency, ranks,
+component labels, embeddings — fresh against a mutation stream without
+full recomputation: each ingest window yields a
+:class:`~repro.streaming.graph.GraphDelta` and every registered
+algorithm repairs only the affected region.
+"""
+
+from repro.streaming.components import IncrementalComponents
+from repro.streaming.embedding import OnlineEmbeddingRefresh
+from repro.streaming.engine import StreamingEngine, WindowReport
+from repro.streaming.graph import GraphDelta, StreamingGraph
+from repro.streaming.pagerank import IncrementalPageRank
+
+__all__ = [
+    "GraphDelta",
+    "IncrementalComponents",
+    "IncrementalPageRank",
+    "OnlineEmbeddingRefresh",
+    "StreamingEngine",
+    "StreamingGraph",
+    "WindowReport",
+]

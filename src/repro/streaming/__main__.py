@@ -1,0 +1,8 @@
+"""``python -m repro.streaming`` — alias for ``repro-streaming``."""
+
+import sys
+
+from repro.streaming.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())
